@@ -1,0 +1,99 @@
+"""Ablations for the design choices DESIGN.md calls out:
+
+* fair vs. biased heuristic on the Appendix B.1 variant program;
+* frozen vs. unfrozen Prelude (candidate-set sizes, Figure 1D vs. §2.2);
+* SolveA-only vs. SolveB-only vs. combined fragment coverage ("SolveB
+  subsumes SolveA on virtually all equations", Appendix B.2).
+"""
+
+from repro.bench import extract_pre_equations
+from repro.bench.corpus import prepare_example
+from repro.examples import example_source
+from repro.lang import parse_program
+from repro.svg import Canvas
+from repro.synthesis import synthesize_plausible
+from repro.trace.equation import Equation
+from repro.zones import assign_canvas
+
+
+def test_bench_biased_assignment(benchmark):
+    example = prepare_example("group_box_variant")
+    result = benchmark(assign_canvas, example.canvas, "biased")
+    assert result.chosen
+
+
+def test_ablation_fair_vs_biased(write_table):
+    """On the Appendix B.1 variant, fair spreads assignments over the
+    auxiliary locations a/b while biased avoids them entirely."""
+    example = prepare_example("group_box_variant")
+
+    def used_locations(heuristic):
+        assignments = assign_canvas(example.canvas, heuristic)
+        used = set()
+        for assignment in assignments.chosen.values():
+            used.update(loc.display() for loc in assignment.location_set)
+        return used
+
+    fair_used = used_locations("fair")
+    biased_used = used_locations("biased")
+    assert {"a", "b"} <= fair_used
+    assert not ({"a", "b"} & biased_used)
+    lines = [
+        "Ablation: fair vs. biased heuristic (Appendix B.1 variant)",
+        f"fair   assigns: {', '.join(sorted(fair_used))}",
+        f"biased assigns: {', '.join(sorted(biased_used))}",
+        "biased avoids the auxiliary locations a and b, which occur in "
+        "twice as many traces.",
+    ]
+    write_table("ablation_heuristics", "\n".join(lines))
+
+
+def test_ablation_prelude_freezing(write_table):
+    """Freezing the Prelude removes the undesirable rho3/rho4 candidates
+    of Figure 1D (§2.2, 'Frozen Constants')."""
+    source = example_source("sine_wave_of_boxes")
+    lines = ["Ablation: Prelude freezing (Figure 1D candidate sets)"]
+    counts = {}
+    for frozen in (False, True):
+        program = parse_program(source, prelude_frozen=frozen)
+        canvas = Canvas.from_value(program.evaluate())
+        equation = Equation(155.0, canvas[2].simple_num("x").trace)
+        candidates = synthesize_plausible(program.rho0, [equation],
+                                          allow_linear=True)
+        counts[frozen] = len(candidates)
+        label = "frozen" if frozen else "unfrozen"
+        names = sorted(c.choice[0].display() for c in candidates)
+        lines.append(f"prelude {label:9s}: {len(candidates)} candidates "
+                     f"({', '.join(names)})")
+    assert counts[False] == 4 and counts[True] == 2
+    write_table("ablation_prelude_freezing", "\n".join(lines))
+
+
+def test_ablation_solver_fragments(corpus, write_table):
+    """Per-solver coverage across all unique pre-equations: SolveB covers
+    (nearly) everything SolveA does."""
+    a_only = b_only = both = neither = 0
+    for example in corpus.values():
+        _, equations = extract_pre_equations(example)
+        for equation in equations:
+            if equation.in_a and equation.in_b:
+                both += 1
+            elif equation.in_a:
+                a_only += 1
+            elif equation.in_b:
+                b_only += 1
+            else:
+                neither += 1
+    total = a_only + b_only + both + neither
+    lines = [
+        "Ablation: solver fragment coverage over unique pre-equations",
+        f"total unique pre-equations : {total}",
+        f"SolveA only                : {a_only}",
+        f"SolveB only                : {b_only}",
+        f"both fragments             : {both}",
+        f"outside both               : {neither}",
+    ]
+    # Appendix B.2: "SolveB subsumes SolveA on virtually all equations".
+    assert a_only <= 0.05 * total
+    assert b_only + both >= 0.7 * total
+    write_table("ablation_solver_fragments", "\n".join(lines))

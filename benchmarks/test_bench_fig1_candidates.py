@@ -1,0 +1,57 @@
+"""E1 — Figure 1D: the four candidate updates for dragging the third box
+of sineWaveOfBoxes to x = 155, and their distinct visual effects."""
+
+import pytest
+
+from repro.examples import example_source
+from repro.lang import parse_program
+from repro.svg import Canvas
+from repro.synthesis import synthesize_plausible
+from repro.trace.equation import Equation
+
+TARGET_X = 155.0
+
+
+@pytest.fixture(scope="module")
+def unfrozen_program():
+    return parse_program(example_source("sine_wave_of_boxes"),
+                         prelude_frozen=False)
+
+
+@pytest.fixture(scope="module")
+def equation(unfrozen_program):
+    canvas = Canvas.from_value(unfrozen_program.evaluate())
+    return Equation(TARGET_X, canvas[2].simple_num("x").trace)
+
+
+def test_bench_candidate_enumeration(benchmark, unfrozen_program, equation):
+    candidates = benchmark(synthesize_plausible, unfrozen_program.rho0,
+                           [equation], allow_linear=True)
+    assert len(candidates) == 4
+
+
+def test_figure1d_table(unfrozen_program, equation, write_table):
+    candidates = synthesize_plausible(unfrozen_program.rho0, [equation],
+                                      allow_linear=True)
+    paper = {"x0": 95.0, "sep": 52.5}
+    lines = ["Figure 1D: candidate updates for Equation 3' "
+             f"({equation})",
+             f"{'location':>10s} {'new value':>10s} "
+             f"{'effect':<40s}"]
+    effects = {
+        "x0": "translates all boxes in unison (rho1)",
+        "sep": "increases spacing between boxes (rho2)",
+        1.5: "translates boxes AND changes box count (rho3)",
+        1.75: "changes spacing AND box count (rho4)",
+    }
+    for candidate in candidates:
+        loc = candidate.choice[0]
+        value = candidate.values[0]
+        name = loc.display() if loc.name else "prelude-l"
+        effect = effects.get(loc.display(), effects.get(value, ""))
+        lines.append(f"{name:>10s} {value:>10.2f} {effect:<40s}")
+        if loc.display() in paper:
+            assert value == pytest.approx(paper[loc.display()])
+    values = sorted(candidate.values[0] for candidate in candidates)
+    assert values == [1.5, 1.75, 52.5, 95.0]
+    write_table("fig1d_candidates", "\n".join(lines))

@@ -1,0 +1,30 @@
+"""E8/E9 — Figure 9 and the Hypothesis 1/2 tables of Appendix E.2,
+recomputed from the published Appendix F response counts."""
+
+import pytest
+
+from repro.study import (analyze_all, bootstrap_t_mean, expand_counts,
+                         experienced_fraction, format_figure9,
+                         hypothesis2_holds)
+from repro.study.data import A_VS_B
+
+
+def test_bench_bootstrap_t(benchmark):
+    responses = expand_counts(A_VS_B["ferris"])
+    estimate = benchmark(bootstrap_t_mean, responses, resamples=2000)
+    assert estimate.mean == pytest.approx(-0.52)
+
+
+def test_figure9(write_table):
+    results = analyze_all()
+    for result in results:
+        # Means are recomputed exactly from the published counts.
+        assert result.estimate.mean == pytest.approx(result.paper_mean)
+        # Resampled intervals land close to the published ones.
+        assert result.estimate.low == pytest.approx(
+            result.paper_interval[0], abs=0.12)
+        assert result.estimate.high == pytest.approx(
+            result.paper_interval[1], abs=0.12)
+    assert hypothesis2_holds(resamples=2000)
+    assert experienced_fraction() == pytest.approx(0.64)
+    write_table("figure9_user_study", format_figure9())

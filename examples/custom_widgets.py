@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""User-defined widgets (§6.3, "Helper Value Design Pattern").
+
+Sliders written *in little* are ordinary shapes; dragging a slider's ball
+indirectly manipulates the source constant wired to it, because the ball's
+'cx' trace mentions that constant.  This script drags the ball of a
+numSlider and watches the little constant change.
+
+Run:  python examples/custom_widgets.py
+"""
+
+from repro.editor import LiveSession
+
+SOURCE = """
+(def [n sliderShapes] (numSlider 100! 300! 50! 0! 10! 'n = ' 4))
+(def design
+  [ (circle 'salmon' 200 200 (+ 20! (* 10! n))) ])
+(svg (append sliderShapes design))
+"""
+
+
+def find_ball(session):
+    """The slider's draggable ball is the last hidden circle."""
+    balls = [shape for shape in session.canvas.shapes_of_kind("circle")
+             if shape.hidden and shape.simple_num("r").value == 10.0]
+    return balls[-1]
+
+
+def main():
+    session = LiveSession(SOURCE)
+    circle = session.canvas.visible_shapes()[0]
+    print("initial design circle radius:",
+          circle.simple_num("r").value)
+
+    ball = find_ball(session)
+    info = session.hover(ball.index, "INTERIOR")
+    print(f"hovering the slider ball: {info.caption}")
+    print("(the ball's position is computed from the source constant, so "
+          "dragging it solves for that constant)")
+
+    # Slider spans x in [100, 300] for values [0, 10]: 20 px per unit.
+    result = session.drag_zone(ball.index, "INTERIOR", dx=40, dy=0)
+    for loc, value in result.bindings.items():
+        print(f"dragged ball +40px: {loc.display()} -> {value}")
+
+    circle = session.canvas.visible_shapes()[0]
+    print("design circle radius is now:", circle.simple_num("r").value)
+    print("\nprogram after the drag:")
+    print(session.source())
+
+    print("\nexport hides the ghost widgets ('HIDDEN' attribute):")
+    svg = session.export_svg()
+    print(f"  exported SVG has {svg.count('<circle')} circle(s) — "
+          "the widget shapes are gone")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The §6.2 ferris wheel case study, scripted end to end:
+
+Phase 1: the initial program and its assignments;
+Phase 2: direct manipulation (move/resize), why numSpokes/rotAngle drags
+         misbehave, and the freeze + slider workflow that fixes them.
+
+Run:  python examples/ferris_wheel.py
+"""
+
+from repro.editor import LiveSession
+from repro.examples import example_source
+
+
+def main():
+    session = LiveSession(example_source("ferris_wheel"))
+    rim = session.canvas.shapes_of_kind("circle")[0]
+    cars = session.canvas.shapes_of_kind("rect")
+
+    print("=== Phase 1: what the editor chose (hover captions) ===")
+    print(f"(rim, INTERIOR)   -> {session.hover(rim.index, 'INTERIOR').caption}")
+    print(f"(rim, RIGHTEDGE)  -> {session.hover(rim.index, 'RIGHTEDGE').caption}")
+    print(f"(car0, RIGHTEDGE) -> {session.hover(cars[0].index, 'RIGHTEDGE').caption}")
+
+    print("\n=== Phase 2a: adjust location and size by dragging ===")
+    session.drag_zone(rim.index, "INTERIOR", 40, -40)
+    print("dragged the rim INTERIOR by (40, -40); program now begins:")
+    print(" ", session.source().splitlines()[0])
+
+    session.drag_zone(cars[0].index, "RIGHTEDGE", -10, 0)
+    widths = {car.simple_num("width").value
+              for car in session.canvas.shapes_of_kind("rect")}
+    print(f"dragged one car's RIGHTEDGE by -10: every car now has "
+          f"width {widths}")
+
+    print("\n=== Phase 2b: numSpokes and rotAngle via sliders ===")
+    print("numSpokes and rotAngle are frozen with {3-15} / {-3.14-3.14} "
+          "ranges, so no zone can change them — the editor shows sliders "
+          "instead:")
+    for slider in session.sliders.values():
+        print("  slider:", slider.caption())
+    spokes_loc = next(loc for loc in session.sliders
+                      if loc.display() == "numSpokes")
+    rot_loc = next(loc for loc in session.sliders
+                   if loc.display() == "rotAngle")
+    session.set_slider(spokes_loc, 7)
+    print(f"numSpokes -> 7: the wheel now has "
+          f"{len(session.canvas.shapes_of_kind('rect'))} cars")
+    session.set_slider(rot_loc, 0.6)
+    print("rotAngle -> 0.6: cars moved around the rim; car 0 is at "
+          f"x = {session.canvas.shapes_of_kind('rect')[0].simple_num('x').value:.1f}")
+
+    print("\n=== final program ===")
+    print(session.source())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: write a little program, render it, drag a shape, and watch
+the program update (live synchronization).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.editor import LiveSession
+
+SOURCE = """
+(def [x0 y0 w h sep] [40 28 60 130 110])
+(def boxi (\\i
+  (let xi (+ x0 (mult i sep))
+    (rect 'lightblue' xi y0 w h))))
+(svg (map boxi (zeroTo 3!)))
+"""
+
+
+def main():
+    session = LiveSession(SOURCE)
+    print("=== program ===")
+    print(session.source())
+    print(f"\ncanvas: {len(session.canvas)} shapes")
+
+    print("\n=== hover captions (what a drag would change) ===")
+    for i in range(3):
+        info = session.hover(i, "INTERIOR")
+        print(f"box {i} INTERIOR: {info.caption}")
+
+    print("\n=== drag box 0 right by 25 pixels ===")
+    result = session.drag_zone(0, "INTERIOR", dx=25, dy=0)
+    for loc, value in result.bindings.items():
+        print(f"  inferred update: {loc.display()} -> {value}")
+    print("\n=== updated program ===")
+    print(session.source())
+
+    print("\n=== exported SVG (first 3 lines) ===")
+    for line in session.export_svg().splitlines()[:3]:
+        print(line)
+
+    session.undo()
+    print("\nafter undo, first line is again:",
+          session.source().splitlines()[0])
+
+
+if __name__ == "__main__":
+    main()

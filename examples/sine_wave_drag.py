@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The paper's running example (§1–§2): the sine wave of boxes.
+
+Walks through the full Figure 1 story:
+  (A/B) the program and its output,
+  (C)   dragging the third box,
+  (D)   the four candidate updates and how freezing + heuristics pick one,
+plus the §2.4 slider for the box count.
+
+Run:  python examples/sine_wave_drag.py
+"""
+
+from repro.editor import LiveSession
+from repro.examples import example_source
+from repro.lang import parse_program
+from repro.svg import Canvas
+from repro.synthesis import synthesize_plausible
+from repro.trace import format_trace
+from repro.trace.equation import Equation
+
+SOURCE = example_source("sine_wave_of_boxes")
+
+
+def show_candidates():
+    print("=== Figure 1D: the four candidate updates ===")
+    program = parse_program(SOURCE, prelude_frozen=False)
+    canvas = Canvas.from_value(program.evaluate())
+    x3 = canvas[2].simple_num("x")
+    print(f"third box 'x' = {x3.value}, trace = {format_trace(x3.trace)}")
+    equation = Equation(155.0, x3.trace)
+    print(f"user drags it right: new equation  155 = "
+          f"{format_trace(x3.trace)}")
+    for candidate in synthesize_plausible(program.rho0, [equation],
+                                          allow_linear=True):
+        loc = candidate.choice[0]
+        print(f"  candidate: {loc.display():8s} -> {candidate.values[0]}")
+    print("freezing the Prelude leaves only x0 and sep (the paper's "
+          "rho1/rho2).")
+
+
+def show_heuristics():
+    print("\n=== §2.3/§4.1: the fair heuristic rotates assignments ===")
+    session = LiveSession(SOURCE)
+    for i in range(5):
+        print(f"  box {i}: {session.hover(i, 'INTERIOR').caption}")
+    print("\ndrag box 0 down-right by (45, 10):")
+    result = session.drag_zone(0, "INTERIOR", 45, 10)
+    for loc, value in result.bindings.items():
+        print(f"  {loc.display()} -> {value}")
+    print("program first line is now:",
+          session.source().splitlines()[0])
+    return session
+
+
+def show_slider(session):
+    print("\n=== §2.4: the n{3-30} slider controls the box count ===")
+    loc = next(iter(session.sliders))
+    for count in (5, 20):
+        session.set_slider(loc, count)
+        print(f"  slider -> {count}: canvas now has "
+              f"{len(session.canvas)} boxes")
+
+
+def main():
+    show_candidates()
+    session = show_heuristics()
+    show_slider(session)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the container has setuptools but no `wheel`, so
+editable installs must go through `setup.py develop` (--no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,9 @@
+"""repro — a Python reproduction of Sketch-n-Sketch (PLDI 2016).
+
+"Programmatic and Direct Manipulation, Together at Last" by Chugh, Hempel,
+Spradlin and Albers.  The package implements the ``little`` language, its
+trace-instrumented evaluator, trace-based program synthesis, the SVG zone /
+assignment / trigger pipeline, and a headless live-synchronization editor.
+"""
+
+__version__ = "1.0.0"

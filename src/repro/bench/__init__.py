@@ -1,0 +1,33 @@
+"""Measurement harness regenerating the paper's tables (§5.2, Appendix G)."""
+
+from .corpus import PreparedExample, prepare_corpus, prepare_example
+from .equation_stats import (EquationTotals, PreEquation, equation_totals,
+                             extract_pre_equations)
+from .interactivity import (InteractivityTotals, format_interactivity,
+                            interactivity_stats)
+from .loc_stats import (LocStatsRow, LocTotals, corpus_loc_stats, loc_stats,
+                        loc_totals)
+from .perf import (OperationTimes, PerfRow, measure_corpus,
+                   measure_example, measure_rows, measure_solve)
+from .report import (PAPER_EQUATION_TOTALS, PAPER_PERF_MS, PAPER_ZONE_TOTALS,
+                     format_equation_table, format_loc_rows,
+                     format_perf_rows, format_perf_table, format_zone_rows,
+                     format_zone_table)
+from .zone_stats import (ZoneStatsRow, ZoneTotals, corpus_zone_stats,
+                         zone_stats, zone_totals)
+
+__all__ = [
+    "PreparedExample", "prepare_corpus", "prepare_example",
+    "EquationTotals", "PreEquation", "equation_totals",
+    "extract_pre_equations",
+    "InteractivityTotals", "format_interactivity", "interactivity_stats",
+    "LocStatsRow", "LocTotals", "corpus_loc_stats", "loc_stats",
+    "loc_totals",
+    "OperationTimes", "PerfRow", "measure_corpus", "measure_example",
+    "measure_rows", "measure_solve",
+    "PAPER_EQUATION_TOTALS", "PAPER_PERF_MS", "PAPER_ZONE_TOTALS",
+    "format_equation_table", "format_loc_rows", "format_perf_rows",
+    "format_perf_table", "format_zone_rows", "format_zone_table",
+    "ZoneStatsRow", "ZoneTotals", "corpus_zone_stats", "zone_stats",
+    "zone_totals",
+]

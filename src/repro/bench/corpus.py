@@ -1,0 +1,44 @@
+"""Prepared corpus: parse/evaluate/assign every example once for analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..examples.registry import example_names, example_source, load_example
+from ..lang.program import Program
+from ..svg.canvas import Canvas
+from ..zones.assignment import CanvasAssignments, assign_canvas
+
+
+@dataclass
+class PreparedExample:
+    name: str
+    program: Program
+    canvas: Canvas
+    assignments: CanvasAssignments
+
+    @property
+    def source_loc(self) -> int:
+        """Non-comment, non-empty lines of little code."""
+        count = 0
+        for line in example_source(self.name).splitlines():
+            stripped = line.strip()
+            if stripped and not stripped.startswith(";"):
+                count += 1
+        return count
+
+
+def prepare_example(name: str, heuristic: str = "fair") -> PreparedExample:
+    program = load_example(name)
+    canvas = Canvas.from_value(program.evaluate())
+    assignments = assign_canvas(canvas, heuristic)
+    return PreparedExample(name, program, canvas, assignments)
+
+
+def prepare_corpus(names: Optional[List[str]] = None,
+                   heuristic: str = "fair") -> Dict[str, PreparedExample]:
+    """Prepare every example (or the given subset)."""
+    if names is None:
+        names = example_names()
+    return {name: prepare_example(name, heuristic) for name in names}

@@ -1,0 +1,91 @@
+"""Interactivity analysis — §5.2's definition of a *successful* user
+action, measured end to end.
+
+"For a user action to be 'successful' requires that the particular zone be
+Active, that the solver computes an update in response to the mouse
+manipulation, and that the resulting update is applied to the program and
+re-evaluated within a short period of time."
+
+For every zone in the corpus we fire its trigger with the paper's two
+probe offsets (d = 1 and d = 100, applied on both axes) and classify the
+outcome:
+
+* ``full``    — every controlled attribute solved;
+* ``partial`` — some solved, some failed (red highlight on the rest);
+* ``none``    — no attribute solved;
+* ``inactive`` — the zone had no trigger at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..zones.triggers import compute_triggers
+from .corpus import PreparedExample
+
+PROBES = (1.0, 100.0)
+
+
+@dataclass(frozen=True)
+class InteractivityTotals:
+    zones: int
+    inactive: int
+    full: Dict[float, int]
+    partial: Dict[float, int]
+    none: Dict[float, int]
+
+    @property
+    def active(self) -> int:
+        return self.zones - self.inactive
+
+    def success_rate(self, delta: float) -> float:
+        """Fraction of *all* zones where a drag of ``delta`` fully
+        succeeds."""
+        if not self.zones:
+            return 0.0
+        return self.full[delta] / self.zones
+
+
+def interactivity_stats(corpus: Dict[str, PreparedExample]
+                        ) -> InteractivityTotals:
+    zones = inactive = 0
+    full = {delta: 0 for delta in PROBES}
+    partial = {delta: 0 for delta in PROBES}
+    none = {delta: 0 for delta in PROBES}
+    for example in corpus.values():
+        triggers = compute_triggers(example.canvas, example.assignments,
+                                    example.program.rho0)
+        for analysis in example.assignments.analyses:
+            zones += 1
+            key = (analysis.zone.shape_index, analysis.zone.name)
+            trigger = triggers.get(key)
+            if trigger is None:
+                inactive += 1
+                continue
+            for delta in PROBES:
+                result = trigger(delta, delta)
+                if result.all_solved and result.outcomes:
+                    full[delta] += 1
+                elif result.any_solved:
+                    partial[delta] += 1
+                else:
+                    none[delta] += 1
+    return InteractivityTotals(zones, inactive, full, partial, none)
+
+
+def format_interactivity(totals: InteractivityTotals) -> str:
+    lines = [
+        "Interactivity: successful user actions (paper Section 5.2)",
+        f"{'Zones':28s}{totals.zones:>8d}",
+        f"{'Inactive':28s}{totals.inactive:>8d}",
+        f"{'Active':28s}{totals.active:>8d}",
+    ]
+    for delta in PROBES:
+        share = 100.0 * totals.success_rate(delta)
+        lines.append(
+            f"  drag d={delta:<5g} full {totals.full[delta]:>6d}  "
+            f"partial {totals.partial[delta]:>5d}  "
+            f"failed {totals.none[delta]:>5d}  "
+            f"({share:.0f}% of all zones fully succeed)")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Location statistics — Appendix G's second table.
+
+Per example: how many locations reach the output ("# Output Locs"), how
+many of those are unfrozen, and how the chosen assignments distribute over
+them ("Unassigned" / "Assigned (avg times) (avg rate)").
+
+* *avg times* — among assigned locations, the mean number of zones whose
+  chosen assignment includes the location;
+* *avg rate* — among assigned locations, the mean fraction of
+  opportunities taken: zones whose chosen assignment includes the location
+  over zones where the location was a candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..lang.ast import Loc
+from ..trace.trace import all_locs
+from .corpus import PreparedExample
+
+
+@dataclass(frozen=True)
+class LocStatsRow:
+    name: str
+    output_locs: int
+    unfrozen: int
+    unassigned: int
+    assigned: int
+    avg_times: float
+    avg_rate: float
+
+
+def loc_stats(example: PreparedExample) -> LocStatsRow:
+    output_locs: Set[Loc] = set()
+    for trace in example.canvas.all_numeric_traces():
+        output_locs.update(all_locs(trace))
+    unfrozen = {loc for loc in output_locs if not loc.frozen}
+
+    candidate_zones: Dict[Loc, int] = {loc: 0 for loc in unfrozen}
+    chosen_zones: Dict[Loc, int] = {loc: 0 for loc in unfrozen}
+    for analysis in example.assignments.analyses:
+        zone_candidates: Set[Loc] = set()
+        for locset in analysis.locsets:
+            zone_candidates.update(locset)
+        for loc in zone_candidates:
+            if loc in candidate_zones:
+                candidate_zones[loc] += 1
+    for assignment in example.assignments.chosen.values():
+        for loc in assignment.location_set:
+            if loc in chosen_zones:
+                chosen_zones[loc] += 1
+
+    assigned = [loc for loc in unfrozen if chosen_zones[loc] > 0]
+    times = [chosen_zones[loc] for loc in assigned]
+    rates = [chosen_zones[loc] / candidate_zones[loc] for loc in assigned
+             if candidate_zones[loc] > 0]
+    return LocStatsRow(
+        name=example.name,
+        output_locs=len(output_locs),
+        unfrozen=len(unfrozen),
+        unassigned=len(unfrozen) - len(assigned),
+        assigned=len(assigned),
+        avg_times=(sum(times) / len(times)) if times else 0.0,
+        avg_rate=(100.0 * sum(rates) / len(rates)) if rates else 0.0,
+    )
+
+
+def corpus_loc_stats(corpus: Dict[str, PreparedExample]) -> List[LocStatsRow]:
+    return [loc_stats(example) for example in corpus.values()]
+
+
+@dataclass(frozen=True)
+class LocTotals:
+    output_locs: int
+    unfrozen: int
+    unassigned: int
+    assigned: int
+
+
+def loc_totals(rows: List[LocStatsRow]) -> LocTotals:
+    return LocTotals(
+        output_locs=sum(row.output_locs for row in rows),
+        unfrozen=sum(row.unfrozen for row in rows),
+        unassigned=sum(row.unassigned for row in rows),
+        assigned=sum(row.assigned for row in rows),
+    )

@@ -1,0 +1,139 @@
+"""Performance measurements — paper §5.2.3.
+
+Four critical operations are timed per example:
+
+* **Parse** — parsing the user program text;
+* **Eval**  — evaluating the (already parsed) program;
+* **Prepare** — computing shape assignments and triggers for all zones;
+* **Solve** — solving one pre-equation (measured per unique pre-equation).
+
+The paper reports Min/Med/Avg/Max across all runs; absolute values differ
+from the Elm/browser implementation, but the ordering (Solve ≪ Eval ≤
+Parse ≪ Prepare) is the reproducible shape.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..examples.registry import example_source
+from ..lang.errors import SolverFailure
+from ..lang.parser import parse_top_level
+from ..svg.canvas import Canvas
+from ..synthesis.solver import solve_one
+from ..zones.assignment import assign_canvas
+from ..zones.triggers import compute_triggers
+from .corpus import PreparedExample
+from .equation_stats import extract_pre_equations
+
+
+@dataclass
+class OperationTimes:
+    name: str
+    samples: List[float] = field(default_factory=list)   # seconds
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    @property
+    def min_ms(self) -> float:
+        return 1000.0 * min(self.samples)
+
+    @property
+    def median_ms(self) -> float:
+        return 1000.0 * statistics.median(self.samples)
+
+    @property
+    def avg_ms(self) -> float:
+        return 1000.0 * statistics.mean(self.samples)
+
+    @property
+    def max_ms(self) -> float:
+        return 1000.0 * max(self.samples)
+
+
+def _timed(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def measure_example(example: PreparedExample, runs: int = 3
+                    ) -> Dict[str, OperationTimes]:
+    """Time Parse/Eval/Prepare ``runs`` times for one prepared example."""
+    source = example_source(example.name)
+    times = {op: OperationTimes(op) for op in ("parse", "eval", "prepare")}
+    program = example.program
+    for _ in range(runs):
+        times["parse"].record(_timed(lambda: parse_top_level(source)))
+        times["eval"].record(_timed(program.evaluate))
+
+        def do_prepare():
+            canvas = Canvas.from_value(program.evaluate())
+            assignments = assign_canvas(canvas)
+            compute_triggers(canvas, assignments, program.rho0)
+        times["prepare"].record(_timed(do_prepare))
+    return times
+
+
+def measure_solve(example: PreparedExample, repeats: int = 2
+                  ) -> OperationTimes:
+    """Time the solver on every unique pre-equation of the example."""
+    rho = example.program.rho0
+    times = OperationTimes("solve")
+    _, equations = extract_pre_equations(example)
+    for equation in equations:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            try:
+                solve_one(rho, equation.loc, equation.value + 1.0,
+                          equation.trace)
+            except SolverFailure:
+                pass
+            times.record(time.perf_counter() - start)
+    return times
+
+
+@dataclass(frozen=True)
+class PerfRow:
+    """One row of the Appendix G per-example timing table."""
+
+    name: str
+    loc: int
+    parse_ms: float
+    eval_ms: float
+    prepare_ms: float
+
+
+def measure_rows(corpus: Dict[str, PreparedExample], runs: int = 2
+                 ) -> List[PerfRow]:
+    """Per-example median times — Appendix G's per-example timing table
+    (the paper reports FF/Chrome columns; we report CPython)."""
+    rows: List[PerfRow] = []
+    for example in corpus.values():
+        times = measure_example(example, runs)
+        rows.append(PerfRow(
+            name=example.name,
+            loc=example.source_loc,
+            parse_ms=times["parse"].median_ms,
+            eval_ms=times["eval"].median_ms,
+            prepare_ms=times["prepare"].median_ms,
+        ))
+    return rows
+
+
+def measure_corpus(corpus: Dict[str, PreparedExample], runs: int = 3,
+                   solve_repeats: int = 1) -> Dict[str, OperationTimes]:
+    """Aggregate Parse/Eval/Prepare/Solve times across the whole corpus."""
+    aggregate = {op: OperationTimes(op)
+                 for op in ("parse", "eval", "prepare", "solve")}
+    for example in corpus.values():
+        example_times = measure_example(example, runs)
+        for op in ("parse", "eval", "prepare"):
+            aggregate[op].samples.extend(example_times[op].samples)
+        aggregate["solve"].samples.extend(
+            measure_solve(example, solve_repeats).samples)
+    return aggregate

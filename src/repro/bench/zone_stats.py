@@ -1,0 +1,99 @@
+"""Zone statistics — paper §5.2.1 and Appendix G's first table.
+
+Per example: shape count, zone count, and how many zones have 0 / 1 / >1
+candidate location assignments (with the average count among the ambiguous
+ones).  Corpus totals reproduce the §5.2.1 summary table::
+
+    Zones        14,106
+    Inactive        991   7%
+    Active       13,115
+    Unambiguous   4,856  34%
+    Ambiguous     8,259  59%   (3.83 candidates on average)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .corpus import PreparedExample
+
+
+@dataclass(frozen=True)
+class ZoneStatsRow:
+    name: str
+    shape_count: int
+    zone_count: int
+    inactive: int          # zero candidates
+    unambiguous: int       # exactly one candidate
+    ambiguous: int         # more than one candidate
+    ambiguous_avg: float   # average candidates among ambiguous zones
+
+    @property
+    def active(self) -> int:
+        return self.unambiguous + self.ambiguous
+
+
+def zone_stats(example: PreparedExample) -> ZoneStatsRow:
+    inactive = unambiguous = ambiguous = 0
+    ambiguous_total = 0
+    for analysis in example.assignments.analyses:
+        if analysis.candidate_count == 0:
+            inactive += 1
+        elif analysis.candidate_count == 1:
+            unambiguous += 1
+        else:
+            ambiguous += 1
+            ambiguous_total += analysis.candidate_count
+    return ZoneStatsRow(
+        name=example.name,
+        shape_count=len(example.canvas),
+        zone_count=len(example.assignments.analyses),
+        inactive=inactive,
+        unambiguous=unambiguous,
+        ambiguous=ambiguous,
+        ambiguous_avg=(ambiguous_total / ambiguous) if ambiguous else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class ZoneTotals:
+    zones: int
+    inactive: int
+    active: int
+    unambiguous: int
+    ambiguous: int
+    ambiguous_avg: float
+
+    @property
+    def inactive_pct(self) -> float:
+        return 100.0 * self.inactive / self.zones if self.zones else 0.0
+
+    @property
+    def unambiguous_pct(self) -> float:
+        return 100.0 * self.unambiguous / self.zones if self.zones else 0.0
+
+    @property
+    def ambiguous_pct(self) -> float:
+        return 100.0 * self.ambiguous / self.zones if self.zones else 0.0
+
+
+def zone_totals(rows: List[ZoneStatsRow]) -> ZoneTotals:
+    zones = sum(row.zone_count for row in rows)
+    inactive = sum(row.inactive for row in rows)
+    unambiguous = sum(row.unambiguous for row in rows)
+    ambiguous = sum(row.ambiguous for row in rows)
+    weighted = sum(row.ambiguous_avg * row.ambiguous for row in rows)
+    return ZoneTotals(
+        zones=zones,
+        inactive=inactive,
+        active=zones - inactive,
+        unambiguous=unambiguous,
+        ambiguous=ambiguous,
+        ambiguous_avg=(weighted / ambiguous) if ambiguous else 0.0,
+    )
+
+
+def corpus_zone_stats(corpus: Dict[str, PreparedExample]
+                      ) -> List[ZoneStatsRow]:
+    return [zone_stats(example) for example in corpus.values()]

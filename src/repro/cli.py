@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run FILE.little [-o OUT.svg]`` — evaluate a little program and emit SVG;
+* ``examples [--render DIR]`` — list or render the example corpus;
+* ``import-svg FILE.svg [-o OUT.little]`` — convert SVG to little;
+* ``tables [--out DIR]`` — regenerate the paper's evaluation tables;
+* ``study`` — print the Figure 9 user-study analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+
+def _cmd_run(args) -> int:
+    from .lang.program import parse_program
+    from .svg.canvas import Canvas
+    from .svg.render import render_canvas
+
+    source = pathlib.Path(args.file).read_text(encoding="utf-8")
+    program = parse_program(source, auto_freeze=args.auto_freeze)
+    canvas = Canvas.from_value(program.evaluate())
+    rendered = render_canvas(canvas.root,
+                             include_hidden=args.include_hidden)
+    if args.output:
+        pathlib.Path(args.output).write_text(rendered + "\n",
+                                             encoding="utf-8")
+        print(f"wrote {args.output} ({len(canvas)} shapes)")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_examples(args) -> int:
+    from .examples.registry import (example_info, example_names,
+                                    load_example)
+    from .svg.canvas import Canvas
+    from .svg.render import render_canvas
+
+    if args.render:
+        out_dir = pathlib.Path(args.render)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for name in example_names():
+            program = load_example(name)
+            canvas = Canvas.from_value(program.evaluate())
+            (out_dir / f"{name}.svg").write_text(
+                render_canvas(canvas.root) + "\n", encoding="utf-8")
+        print(f"rendered {len(example_names())} examples to {out_dir}/")
+        return 0
+    for name in example_names():
+        info = example_info(name)
+        print(f"{name:28s} {info.title:24s} {info.description}")
+    return 0
+
+
+def _cmd_import_svg(args) -> int:
+    from .svg.importer import import_svg_file
+
+    source = import_svg_file(args.file)
+    if args.output:
+        pathlib.Path(args.output).write_text(source, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(source)
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from .bench import (corpus_loc_stats, corpus_zone_stats,
+                        equation_totals, format_equation_table,
+                        format_loc_rows, format_perf_table,
+                        format_zone_rows, format_zone_table, loc_totals,
+                        measure_corpus, prepare_corpus, zone_totals)
+
+    corpus = prepare_corpus()
+    sections = {
+        "zone_table": format_zone_table(
+            zone_totals(corpus_zone_stats(corpus))),
+        "solvability_table": format_equation_table(
+            equation_totals(corpus)),
+        "appendix_g_zones": format_zone_rows(corpus_zone_stats(corpus)),
+        "appendix_g_locs": format_loc_rows(
+            corpus_loc_stats(corpus),
+            loc_totals(corpus_loc_stats(corpus))),
+    }
+    if args.perf:
+        sections["perf_table"] = format_perf_table(
+            measure_corpus(corpus, runs=args.runs))
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name, text in sections.items():
+        print(text)
+        print()
+        if out_dir:
+            (out_dir / f"{name}.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+    return 0
+
+
+def _cmd_study(args) -> int:
+    from .study.analysis import format_figure9
+
+    print(format_figure9(resamples=args.resamples))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sketch-n-Sketch reproduction (PLDI 2016)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="evaluate a little program and emit SVG")
+    run_parser.add_argument("file")
+    run_parser.add_argument("-o", "--output")
+    run_parser.add_argument("--include-hidden", action="store_true",
+                            help="include 'HIDDEN' helper shapes")
+    run_parser.add_argument("--auto-freeze", action="store_true",
+                            help="freeze all literals except ?-thawed ones")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    examples_parser = commands.add_parser(
+        "examples", help="list or render the example corpus")
+    examples_parser.add_argument("--render", metavar="DIR")
+    examples_parser.set_defaults(handler=_cmd_examples)
+
+    import_parser = commands.add_parser(
+        "import-svg", help="convert an SVG file to little source")
+    import_parser.add_argument("file")
+    import_parser.add_argument("-o", "--output")
+    import_parser.set_defaults(handler=_cmd_import_svg)
+
+    tables_parser = commands.add_parser(
+        "tables", help="regenerate the paper's evaluation tables")
+    tables_parser.add_argument("--out", metavar="DIR")
+    tables_parser.add_argument("--perf", action="store_true",
+                               help="also run the timing table")
+    tables_parser.add_argument("--runs", type=int, default=3)
+    tables_parser.set_defaults(handler=_cmd_tables)
+
+    study_parser = commands.add_parser(
+        "study", help="print the Figure 9 user-study analysis")
+    study_parser.add_argument("--resamples", type=int, default=10_000)
+    study_parser.set_defaults(handler=_cmd_study)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

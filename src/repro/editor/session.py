@@ -1,0 +1,200 @@
+"""Headless live-synchronization editor (§4.1, §5).
+
+:class:`LiveSession` substitutes for the reference implementation's browser
+UI: it exposes exactly the interaction loop of the paper —
+
+1. **run**: parse + evaluate the program, build the canvas;
+2. **prepare**: compute shape assignments (heuristics) and mouse triggers
+   for every zone ("we only perform this computation when the program is
+   run initially and after the user finishes dragging a zone", §5.2.3);
+3. **drag**: while the mouse moves, fire the zone's trigger, apply the
+   substitution to the original program, re-evaluate, re-render;
+4. **release**: commit, then re-prepare for the next action.
+
+Hover captions, freeze highlighting and the undo feature of §5/§6.2 are
+modelled as inspectable data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.ast import Loc
+from ..lang.errors import LittleError
+from ..lang.program import Program, parse_program
+from ..svg.canvas import Canvas
+from ..svg.render import render_canvas
+from ..trace.trace import locs
+from ..zones.assignment import CanvasAssignments, assign_canvas
+from ..zones.triggers import MouseTrigger, TriggerResult, compute_triggers
+from .sliders import BuiltinSlider, collect_sliders
+
+
+class EditorError(LittleError):
+    """Misuse of the editor API (dragging an Inactive zone, …)."""
+
+
+@dataclass(frozen=True)
+class HoverInfo:
+    """What the editor shows when hovering a zone (§5): whether it is
+    Active, the constants that will change (highlighted yellow), and the
+    constants that contributed to the attributes but were not selected
+    (highlighted gray)."""
+
+    active: bool
+    caption: str
+    selected: Tuple[Loc, ...] = ()
+    unselected: Tuple[Loc, ...] = ()
+
+
+class LiveSession:
+    """A headless Sketch-n-Sketch editing session."""
+
+    def __init__(self, source: Optional[str] = None, *,
+                 program: Optional[Program] = None,
+                 heuristic: str = "fair",
+                 auto_freeze: bool = False,
+                 prelude_frozen: bool = True):
+        if (source is None) == (program is None):
+            raise EditorError("provide exactly one of source or program")
+        if program is None:
+            program = parse_program(source, auto_freeze=auto_freeze,
+                                    prelude_frozen=prelude_frozen)
+        self.heuristic = heuristic
+        self.program = program
+        self.history: List[Program] = []
+        self.canvas: Canvas
+        self.assignments: CanvasAssignments
+        self.triggers: Dict[Tuple[int, str], MouseTrigger]
+        self.sliders: Dict[Loc, BuiltinSlider]
+        self._drag_base: Optional[Program] = None
+        self._drag_trigger: Optional[MouseTrigger] = None
+        self._last_result: Optional[TriggerResult] = None
+        self.run()
+
+    # -- run / prepare ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Evaluate the current program and prepare for user actions."""
+        output = self.program.evaluate()
+        self.canvas = Canvas.from_value(output)
+        self.prepare()
+
+    def prepare(self) -> None:
+        """Compute assignments and triggers for every zone (the "Prepare"
+        operation measured in §5.2.3)."""
+        self.assignments = assign_canvas(self.canvas, self.heuristic)
+        self.triggers = compute_triggers(self.canvas, self.assignments,
+                                         self.program.rho0)
+        self.sliders = collect_sliders(self.program)
+
+    # -- hovering ----------------------------------------------------------------
+
+    def hover(self, shape_index: int, zone_name: str) -> HoverInfo:
+        assignment = self.assignments.lookup(shape_index, zone_name)
+        analysis = self.assignments.analysis(shape_index, zone_name)
+        if assignment is None or analysis is None:
+            return HoverInfo(active=False, caption="Inactive")
+        selected = tuple(sorted(assignment.location_set,
+                                key=lambda loc: loc.ident))
+        contributing = set()
+        for locset in analysis.locsets:
+            contributing.update(locset)
+        unselected = tuple(sorted(contributing - set(selected),
+                                  key=lambda loc: loc.ident))
+        return HoverInfo(active=True, caption=assignment.caption(),
+                         selected=selected, unselected=unselected)
+
+    # -- dragging ---------------------------------------------------------------
+
+    def start_drag(self, shape_index: int, zone_name: str) -> None:
+        trigger = self.triggers.get((shape_index, zone_name))
+        if trigger is None:
+            raise EditorError(
+                f"zone {zone_name!r} of shape {shape_index} is Inactive")
+        self._drag_base = self.program
+        self._drag_trigger = trigger
+        self._last_result = None
+
+    def drag(self, dx: float, dy: float) -> TriggerResult:
+        """One mouse-move step: the offsets are cumulative from the
+        drag start, exactly as in §4.1's τ(dx, dy)."""
+        if self._drag_trigger is None or self._drag_base is None:
+            raise EditorError("drag without start_drag")
+        result = self._drag_trigger(dx, dy)
+        self._last_result = result
+        if result.bindings:
+            self.program = self._drag_base.substitute(result.bindings)
+            output = self.program.evaluate()
+            self.canvas = Canvas.from_value(output)
+        return result
+
+    def release(self) -> None:
+        """Finish the user action: commit to history and re-prepare
+        ("when the user releases the mouse button, we compute new shape
+        assignments and mouse triggers", §4.1)."""
+        if self._drag_base is None:
+            raise EditorError("release without start_drag")
+        if self.program is not self._drag_base:
+            self.history.append(self._drag_base)
+        self._drag_base = None
+        self._drag_trigger = None
+        self.prepare()
+
+    def drag_zone(self, shape_index: int, zone_name: str, dx: float,
+                  dy: float) -> TriggerResult:
+        """Convenience: a full click-drag-release gesture."""
+        self.start_drag(shape_index, zone_name)
+        result = self.drag(dx, dy)
+        self.release()
+        return result
+
+    # -- sliders (§2.4) -----------------------------------------------------------
+
+    def set_slider(self, loc: Loc, value: float) -> None:
+        slider = self.sliders.get(loc)
+        if slider is None:
+            raise EditorError(f"no slider for location {loc.display()}")
+        clamped = max(slider.lo, min(slider.hi, value))
+        self.history.append(self.program)
+        self.program = self.program.substitute({loc: clamped})
+        self.run()
+
+    # -- undo (§6.2) ----------------------------------------------------------------
+
+    def undo(self) -> None:
+        if not self.history:
+            raise EditorError("nothing to undo")
+        self.program = self.history.pop()
+        self.run()
+
+    # -- output -----------------------------------------------------------------------
+
+    def source(self) -> str:
+        """Current program text as the user would see it."""
+        return self.program.unparse()
+
+    def export_svg(self, *, include_hidden: bool = False) -> str:
+        """Export the canvas as SVG text (Appendix C)."""
+        return render_canvas(self.canvas.root, include_hidden=include_hidden)
+
+    # -- introspection -------------------------------------------------------------
+
+    def zone_names(self, shape_index: int) -> List[str]:
+        return [analysis.zone.name for analysis in self.assignments.analyses
+                if analysis.zone.shape_index == shape_index]
+
+    def active_zone_count(self) -> int:
+        return len(self.assignments.chosen)
+
+    def freeze_highlight(self) -> Dict[str, Tuple[Loc, ...]]:
+        """Locations grouped by highlight color after the last drag:
+        green (updated) and red (solver failed) (§5)."""
+        if self._last_result is None:
+            return {"green": (), "red": ()}
+        green = tuple(outcome.loc for outcome in self._last_result.outcomes
+                      if outcome.solved)
+        red = tuple(outcome.loc for outcome in self._last_result.outcomes
+                    if not outcome.solved)
+        return {"green": green, "red": red}

@@ -1,0 +1,7 @@
+"""The little example corpus (paper §5.2, §6, Appendices D and G)."""
+
+from .registry import (ExampleInfo, example_info, example_names,
+                       example_source, load_all, load_example)
+
+__all__ = ["ExampleInfo", "example_info", "example_names", "example_source",
+           "load_all", "load_example"]

@@ -1,0 +1,158 @@
+"""Registry of the ``little`` example corpus.
+
+The paper's evaluation runs over 68 example programs spanning ~2,000 lines
+of little code (§5.2); this corpus reproduces the named examples whose
+structure the paper describes (Appendix D/G).  All corpus-wide statistics
+(zone counts, pre-equation solvability, timings) are computed over these
+programs.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List
+
+from ..lang.program import Program, parse_program
+
+
+@dataclass(frozen=True)
+class ExampleInfo:
+    name: str
+    title: str
+    description: str
+
+
+#: name -> (title, one-line description).  Order follows Appendix G.
+_EXAMPLES: Dict[str, ExampleInfo] = {}
+
+
+def _register(name: str, title: str, description: str) -> None:
+    _EXAMPLES[name] = ExampleInfo(name, title, description)
+
+
+_register("sine_wave_of_boxes", "Wave Boxes",
+          "Figure 1: boxes along a sine wave; the paper's running example")
+_register("wave_boxes_grid", "Wave Boxes Grid",
+          "2-D grid of sine-wave rows")
+_register("sketch_n_sketch_logo", "Logo",
+          "three black polygons spaced by white lines (§6.1)")
+_register("logo_sizes", "Logo Sizes",
+          "the logo abstraction at three sizes")
+_register("botanic_garden_logo", "Botanic Garden Logo",
+          "Bezier leaves mirrored across a vertical axis (§6.1)")
+_register("active_trans_logo", "Active Trans Logo",
+          "city-skyline and road paths (§6.1)")
+_register("chicago_flag", "Chicago Flag",
+          "stripes plus four nStar stars and a group box (§6.1)")
+_register("us13_flag", "US-13 Flag",
+          "13 stripes, canton, ring of 13 stars")
+_register("french_sudan_flag", "French Sudan Flag",
+          "tricolor with a kanaga stick figure")
+_register("sliders", "Sliders",
+          "user-defined num/int/bool sliders (§6.3)")
+_register("buttons", "Buttons", "a boolean button widget")
+_register("widgets", "Widgets", "one of each user-defined widget kind")
+_register("xy_slider", "xySlider", "two-dimensional slider (§6.3)")
+_register("tile_pattern", "Tile Pattern",
+          "grid controlled by xySlider/enumSlider/tokens (§6.3)")
+_register("color_picker", "Color Picker",
+          "RGB sliders driving a swatch fill")
+_register("ferris_wheel", "Ferris Wheel",
+          "the §6.2 case study, final version")
+_register("ferris_task_before", "Ferris Task Before",
+          "user-study initial ferris wheel")
+_register("ferris_task_after", "Ferris Task After",
+          "user-study target ferris wheel")
+_register("hilbert_curve", "Hilbert Curve Animation",
+          "slider-controlled curve order (§6.1)")
+_register("bar_graph", "Bar Graph", "data-driven bars over an axis")
+_register("pie_chart", "Pie Chart", "arc-path wedges")
+_register("solar_system", "Solar System", "orbit rings and planets")
+_register("clique", "Clique", "complete graph on circle points")
+_register("eye_icon", "Eye Icon", "concentric circles plus a brow arc")
+_register("wikimedia_logo", "Wikimedia Logo", "simplified mark")
+_register("haskell_logo", "Haskell.org Logo", "the >λ= polygons")
+_register("pop_pl_logo", "POP-PL Logo", "monogram of circles and strokes")
+_register("lillicon_p", "Lillicon P",
+          "semi-circle built from curves (§6.1)")
+_register("keyboard", "Keyboard", "staggered key rows sharing key size")
+_register("keyboard_task_before", "Keyboard Task Before",
+          "user-study initial keyboard")
+_register("keyboard_task_after", "Keyboard Task After",
+          "user-study target keyboard")
+_register("tessellation", "Tessellation Task Before",
+          "triangle tiling (user-study initial)")
+_register("tessellation_task_after", "Tessellation Task After",
+          "user-study target tiling")
+_register("floral_logo", "Floral Logo",
+          "petals rotated about a common center (App. B.1)")
+_register("spiral", "Spiral Spiral-Graph", "dots along a spiral")
+_register("rounded_rect", "Rounded Rect",
+          "rx/ry sliders beside the rectangle (§6.3)")
+_register("thaw_freeze", "Thaw/Freeze", "frozen vs. manipulable boxes")
+_register("three_boxes", "3 Boxes",
+          "the 'hello world' of prodirect manipulation")
+_register("n_boxes_slider", "N Boxes Sli", "box count on a slider")
+_register("n_boxes", "N Boxes", "programmatic box count")
+_register("elm_logo", "Elm Logo", "tangram without shared structure")
+_register("rings", "Rings", "five interlocking rings")
+_register("polygons", "Polygons", "equilateral triangles via nStar")
+_register("stars", "Stars", "nStar with varying point counts")
+_register("triangles", "Triangles", "two triangles sharing an edge")
+_register("frank_lloyd_wright", "Frank Lloyd Wright",
+          "art-glass window pattern")
+_register("bezier_curves", "Bezier Curves",
+          "cubic/quadratic curves with control markers")
+_register("stick_figures", "Stick Figures", "figures sharing one size")
+_register("misc_shapes", "Misc Shapes", "a mix of primitive kinds")
+_register("paths_demo", "Paths", "path commands M/L/C/Q")
+_register("sample_rotations", "Sample Rotations",
+          "transform rotations about a pivot")
+_register("grid_tile", "Grid Tile", "bordered grid of cells")
+_register("zones_demo", "Zones", "one shape of each kind")
+_register("fractal_tree", "Fractal Tree", "recursive branching")
+_register("group_box_variant", "Wave Boxes (biased variant)",
+          "the Appendix B.1 example where biased beats fair")
+_register("sailboat", "Sailboat", "hull/mast/sails over wave circles")
+_register("logo2", "Logo 2", "recolored logo on a group box")
+_register("us50_flag", "US-50 Flag", "offset 50-star canton grid")
+_register("survey_results", "Survey Results",
+          "the Figure 9 histograms drawn in little")
+_register("interface_buttons", "Interface Buttons",
+          "toggle buttons showing/hiding layers")
+_register("matrix_transformations", "Matrix Transformations",
+          "explicit 2x2 matrix arithmetic")
+_register("color_wheel", "Color Wheel",
+          "color-number fills with FILL zones (Appendix C)")
+_register("cover_logo", "Cover Logo", "block letter on a cell grid")
+
+
+def example_names() -> List[str]:
+    """All example names, in Appendix G order."""
+    return list(_EXAMPLES)
+
+
+def example_info(name: str) -> ExampleInfo:
+    return _EXAMPLES[name]
+
+
+@lru_cache(maxsize=None)
+def example_source(name: str) -> str:
+    if name not in _EXAMPLES:
+        raise KeyError(f"unknown example {name!r}; "
+                       f"see example_names()")
+    resource = importlib.resources.files("repro.examples").joinpath(
+        f"programs/{name}.little")
+    return resource.read_text(encoding="utf-8")
+
+
+def load_example(name: str, **kwargs) -> Program:
+    """Parse one example into a :class:`~repro.lang.program.Program`."""
+    return parse_program(example_source(name), **kwargs)
+
+
+def load_all(**kwargs) -> Dict[str, Program]:
+    """Parse the whole corpus."""
+    return {name: load_example(name, **kwargs) for name in _EXAMPLES}

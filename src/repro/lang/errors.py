@@ -1,0 +1,37 @@
+"""Exception hierarchy for the ``little`` language implementation."""
+
+from __future__ import annotations
+
+
+class LittleError(Exception):
+    """Base class for all errors raised by the ``little`` implementation."""
+
+
+class LittleSyntaxError(LittleError):
+    """Lexical or grammatical error in ``little`` source text."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        self.line = line
+        self.col = col
+        super().__init__(f"{message} (line {line}, col {col})"
+                         if line else message)
+
+
+class LittleRuntimeError(LittleError):
+    """Error raised during evaluation of a ``little`` program."""
+
+
+class MatchFailure(LittleRuntimeError):
+    """No case branch matched the scrutinee value."""
+
+
+class SvgError(LittleError):
+    """The program's output value is not a well-formed SVG node."""
+
+
+class SolverFailure(LittleError):
+    """The value-trace equation solver could not compute a solution.
+
+    The paper's solver is partial ("Not all primitive operations have total
+    inverses, so SolveOne sometimes fails to compute a solution", §5.1).
+    """

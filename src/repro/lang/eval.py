@@ -1,0 +1,193 @@
+"""Big-step evaluator for ``little`` with trace instrumentation.
+
+The distinguishing rule is E-OP-NUM (paper Figure 2): applying a primitive
+operator to numbers ``n1^t1 … nm^tm`` yields ``n^t`` where
+``t = (op t1 … tm)`` — traces are built *in parallel with* evaluation and
+record data flow only.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional
+
+from .ast import (ECase, ECons, ELambda, ELet, ENil, ENum, EOp, EStr, EVar,
+                  EApp, EBool, Expr, NUMERIC_OPS, PBool, PCons, PNil, PNum,
+                  PStr, PVar, Pattern)
+from .errors import LittleRuntimeError, MatchFailure
+from .ops import apply_numeric_op
+from .values import (VBool, VClosure, VCons, VNil, VNum, VStr, Value,
+                     format_number)
+from ..trace.trace import OpTrace
+
+_MIN_RECURSION_LIMIT = 20000
+
+
+class Env:
+    """Environment as a parent-linked chain of small binding dicts."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, bindings: Optional[Dict[str, Value]] = None,
+                 parent: Optional["Env"] = None):
+        self.bindings = bindings if bindings is not None else {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Value:
+        env: Optional[Env] = self
+        while env is not None:
+            value = env.bindings.get(name)
+            if value is not None:
+                return value
+            if name in env.bindings:      # a binding whose value is None-like
+                return env.bindings[name]
+            env = env.parent
+        raise LittleRuntimeError(f"unbound variable {name!r}")
+
+    def child(self, bindings: Dict[str, Value]) -> "Env":
+        return Env(bindings, self)
+
+
+def match(pattern: Pattern, value: Value) -> Optional[Dict[str, Value]]:
+    """Match ``value`` against ``pattern``; return bindings or ``None``."""
+    if isinstance(pattern, PVar):
+        return {pattern.name: value}
+    if isinstance(pattern, PNum):
+        if isinstance(value, VNum) and value.value == pattern.value:
+            return {}
+        return None
+    if isinstance(pattern, PStr):
+        if isinstance(value, VStr) and value.value == pattern.value:
+            return {}
+        return None
+    if isinstance(pattern, PBool):
+        if isinstance(value, VBool) and value.value == pattern.value:
+            return {}
+        return None
+    if isinstance(pattern, PNil):
+        return {} if isinstance(value, VNil) else None
+    if isinstance(pattern, PCons):
+        if not isinstance(value, VCons):
+            return None
+        head_bindings = match(pattern.head, value.head)
+        if head_bindings is None:
+            return None
+        tail_bindings = match(pattern.tail, value.tail)
+        if tail_bindings is None:
+            return None
+        head_bindings.update(tail_bindings)
+        return head_bindings
+    raise LittleRuntimeError(f"unknown pattern {pattern!r}")
+
+
+def evaluate(expr: Expr, env: Optional[Env] = None) -> Value:
+    """Evaluate ``expr`` in ``env`` (empty by default)."""
+    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+    return _eval(expr, env if env is not None else Env())
+
+
+def _eval(expr: Expr, env: Env) -> Value:
+    # A while-loop on `expr`/`env` implements tail calls for let bodies and
+    # case branches, which keeps Python stack depth proportional to true
+    # (non-tail) recursion depth only.
+    while True:
+        kind = type(expr)
+        if kind is ENum:
+            return VNum(expr.value, expr.loc)
+        if kind is EStr:
+            return VStr(expr.value)
+        if kind is EBool:
+            return VBool(expr.value)
+        if kind is ENil:
+            return VNil()
+        if kind is EVar:
+            return env.lookup(expr.name)
+        if kind is ECons:
+            return VCons(_eval(expr.head, env), _eval(expr.tail, env))
+        if kind is ELambda:
+            return VClosure(expr.pattern, expr.body, env)
+        if kind is ELet:
+            if expr.rec:
+                rec_env = env.child({})
+                bound = _eval(expr.bound, rec_env)
+                bindings = match(expr.pattern, bound)
+                if bindings is None:
+                    raise MatchFailure("letrec pattern did not match")
+                rec_env.bindings.update(bindings)
+                env = rec_env
+            else:
+                bound = _eval(expr.bound, env)
+                bindings = match(expr.pattern, bound)
+                if bindings is None:
+                    raise MatchFailure("let pattern did not match")
+                env = env.child(bindings)
+            expr = expr.body
+            continue
+        if kind is EApp:
+            fn = _eval(expr.fn, env)
+            arg = _eval(expr.arg, env)
+            if not isinstance(fn, VClosure):
+                raise LittleRuntimeError(
+                    f"attempt to apply a non-function: {fn!r}")
+            bindings = match(fn.pattern, arg)
+            if bindings is None:
+                raise MatchFailure("function argument did not match "
+                                   "parameter pattern")
+            expr = fn.body
+            env = fn.env.child(bindings)
+            continue
+        if kind is ECase:
+            scrutinee = _eval(expr.scrutinee, env)
+            for pattern, branch in expr.branches:
+                bindings = match(pattern, scrutinee)
+                if bindings is not None:
+                    env = env.child(bindings) if bindings else env
+                    expr = branch
+                    break
+            else:
+                raise MatchFailure("no case branch matched")
+            continue
+        if kind is EOp:
+            return _eval_op(expr, env)
+        raise LittleRuntimeError(f"cannot evaluate {expr!r}")
+
+
+def _eval_op(expr: EOp, env: Env) -> Value:
+    op = expr.op
+    args = [_eval(arg, env) for arg in expr.args]
+
+    if all(isinstance(arg, VNum) for arg in args):
+        if op in NUMERIC_OPS:
+            # E-OP-NUM: compute the number and build the expression trace.
+            result = apply_numeric_op(op, [arg.value for arg in args])
+            return VNum(result, OpTrace(op, tuple(arg.trace for arg in args)))
+        if op == "=":
+            return VBool(args[0].value == args[1].value)
+        if op == "<":
+            return VBool(args[0].value < args[1].value)
+        if op == ">":
+            return VBool(args[0].value > args[1].value)
+        if op == "<=":
+            return VBool(args[0].value <= args[1].value)
+        if op == ">=":
+            return VBool(args[0].value >= args[1].value)
+        if op == "toString":
+            return VStr(format_number(args[0].value))
+
+    if op == "not" and isinstance(args[0], VBool):
+        return VBool(not args[0].value)
+    if op == "+" and isinstance(args[0], VStr) and isinstance(args[1], VStr):
+        return VStr(args[0].value + args[1].value)
+    if op == "=" and isinstance(args[0], VStr) and isinstance(args[1], VStr):
+        return VBool(args[0].value == args[1].value)
+    if op == "=" and isinstance(args[0], VBool) and isinstance(args[1], VBool):
+        return VBool(args[0].value == args[1].value)
+    if op == "toString":
+        if isinstance(args[0], VStr):
+            return args[0]
+        if isinstance(args[0], VBool):
+            return VStr("true" if args[0].value else "false")
+
+    shapes = ", ".join(type(arg).__name__ for arg in args)
+    raise LittleRuntimeError(f"operator {op!r} not defined on ({shapes})")

@@ -1,0 +1,69 @@
+"""Shared semantics of ``little``'s numeric primitive operators.
+
+Both the evaluator (rule E-OP-NUM) and the trace evaluator ``ρt`` used by the
+solver (Appendix B.2) must agree on these, so they live in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import LittleRuntimeError
+
+
+def apply_numeric_op(op: str, args) -> float:
+    """Evaluate numeric operator ``op`` on float ``args``.
+
+    Raises :class:`LittleRuntimeError` on domain errors (division by zero,
+    ``arccos`` outside [-1, 1], …) — little has no exception mechanism, so
+    these abort evaluation, matching the reference implementation.
+    """
+    try:
+        if op == "pi":
+            return math.pi
+        if op == "+":
+            return args[0] + args[1]
+        if op == "-":
+            return args[0] - args[1]
+        if op == "*":
+            return args[0] * args[1]
+        if op == "/":
+            if args[1] == 0:
+                raise LittleRuntimeError("division by zero")
+            return args[0] / args[1]
+        if op == "mod":
+            if args[1] == 0:
+                raise LittleRuntimeError("mod by zero")
+            return math.fmod(args[0], args[1])
+        if op == "pow":
+            return math.pow(args[0], args[1])
+        if op == "cos":
+            return math.cos(args[0])
+        if op == "sin":
+            return math.sin(args[0])
+        if op == "arccos":
+            if not -1.0 <= args[0] <= 1.0:
+                raise LittleRuntimeError("arccos argument outside [-1, 1]")
+            return math.acos(args[0])
+        if op == "arcsin":
+            if not -1.0 <= args[0] <= 1.0:
+                raise LittleRuntimeError("arcsin argument outside [-1, 1]")
+            return math.asin(args[0])
+        if op == "sqrt":
+            if args[0] < 0:
+                raise LittleRuntimeError("sqrt of a negative number")
+            return math.sqrt(args[0])
+        if op == "round":
+            # Round half away from zero, the behaviour GUI users expect.
+            return math.floor(args[0] + 0.5)
+        if op == "floor":
+            return math.floor(args[0])
+        if op == "ceiling":
+            return math.ceil(args[0])
+        if op == "abs":
+            return abs(args[0])
+        if op == "neg":
+            return -args[0]
+    except (ValueError, OverflowError) as exc:
+        raise LittleRuntimeError(f"numeric error in {op}: {exc}") from exc
+    raise LittleRuntimeError(f"unknown numeric operator {op!r}")

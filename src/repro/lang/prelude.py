@@ -1,0 +1,34 @@
+"""Loading and caching of the little Prelude.
+
+The Prelude is parsed once per freeze mode and shared between programs: its
+ASTs are read-only, and location objects are globally unique, so sharing is
+safe.  ``frozen=True`` (the default) freezes every Prelude literal, per §2.2;
+``frozen=False`` is used by experiments that enumerate *all* candidate
+updates, including Prelude locations (paper Figure 1D shows ρ3 and ρ4 before
+freezing is taken into account).
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from functools import lru_cache
+from typing import List, Tuple
+
+from .ast import Expr, Pattern
+from .parser import parse_definition_sequence
+
+Binding = Tuple[Pattern, Expr, bool]
+
+
+@lru_cache(maxsize=None)
+def prelude_source() -> str:
+    resource = importlib.resources.files("repro.lang").joinpath(
+        "programs/prelude.little")
+    return resource.read_text(encoding="utf-8")
+
+
+@lru_cache(maxsize=2)
+def prelude_bindings(frozen: bool = True) -> Tuple[Binding, ...]:
+    """The Prelude as a tuple of (pattern, expr, recursive) bindings."""
+    return tuple(parse_definition_sequence(
+        prelude_source(), auto_freeze=frozen, in_prelude=True))

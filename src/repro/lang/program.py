@@ -1,0 +1,96 @@
+"""Programs: user source + Prelude, with the machinery of §2–§3.
+
+A :class:`Program` bundles the parsed user AST, the Prelude, the combined
+expression that actually evaluates, and ρ0 — "the substitution that records
+location-value mappings from the source program" (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .ast import ELet, Expr, Loc, iter_numbers, substitute
+from .eval import evaluate
+from .parser import collect_rho0, parse_top_level
+from .prelude import prelude_bindings
+from .unparser import unparse
+from .values import Value
+
+
+class Program:
+    """A parsed little program, ready to evaluate and synthesize against."""
+
+    def __init__(self, user_ast: Expr, *, source: str = "",
+                 with_prelude: bool = True, prelude_frozen: bool = True):
+        self.user_ast = user_ast
+        self.source = source
+        self.with_prelude = with_prelude
+        self.prelude_frozen = prelude_frozen
+        if with_prelude:
+            ast = user_ast
+            for pattern, bound, rec in reversed(
+                    prelude_bindings(prelude_frozen)):
+                ast = ELet(pattern, bound, ast, rec=rec, from_def=True)
+            self.ast = ast
+        else:
+            self.ast = user_ast
+        self.rho0: Dict[Loc, float] = collect_rho0(self.ast)
+
+    # -- core operations -----------------------------------------------------
+
+    def evaluate(self) -> Value:
+        return evaluate(self.ast)
+
+    def substitute(self, rho: Dict[Loc, float]) -> "Program":
+        """Apply a local update ρ, yielding the new program ρe (§2.2)."""
+        new_user = substitute(self.user_ast, rho)
+        touches_prelude = any(loc.in_prelude for loc in rho)
+        if not touches_prelude and self.with_prelude:
+            # Fast path: rebuild only the user portion; the Prelude spine is
+            # reconstructed from the shared cached bindings.
+            return Program(new_user, source=self.source,
+                           with_prelude=True,
+                           prelude_frozen=self.prelude_frozen)
+        program = Program.__new__(Program)
+        program.user_ast = new_user
+        program.source = self.source
+        program.with_prelude = self.with_prelude
+        program.prelude_frozen = self.prelude_frozen
+        program.ast = substitute(self.ast, rho)
+        program.rho0 = dict(self.rho0)
+        program.rho0.update(rho)
+        return program
+
+    def unparse(self) -> str:
+        """The user-visible program text (Prelude not shown, as in the
+        reference editor)."""
+        return unparse(self.user_ast)
+
+    # -- queries ---------------------------------------------------------------
+
+    def user_locs(self):
+        """Locations of literals in the user program (not the Prelude)."""
+        return [num.loc for num in iter_numbers(self.user_ast)]
+
+    def range_annotations(self):
+        """(loc, lo, hi, current) for every range-annotated literal — the
+        built-in sliders of §2.4."""
+        sliders = []
+        for num in iter_numbers(self.user_ast):
+            if num.range_ann is not None:
+                lo, hi = num.range_ann
+                sliders.append((num.loc, lo, hi, num.value))
+        return sliders
+
+
+def parse_program(source: str, *, with_prelude: bool = True,
+                  prelude_frozen: bool = True,
+                  auto_freeze: bool = False) -> Program:
+    """Parse little source (``(def …)* expr``) into a :class:`Program`.
+
+    ``auto_freeze`` freezes every user literal except those thawed with ``?``
+    (the alternative mode of Appendix C, "Thawing and Freezing Constants").
+    """
+    user_ast = parse_top_level(source, auto_freeze=auto_freeze)
+    return Program(user_ast, source=source, with_prelude=with_prelude,
+                   prelude_frozen=prelude_frozen)

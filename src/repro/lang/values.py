@@ -1,0 +1,128 @@
+"""Run-time values of ``little`` (paper Figure 2).
+
+``v ::= nᵗ | s | b | [] | [v1|v2] | (λ p e)``
+
+Numbers carry traces; every other value is traceless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from .ast import Expr, Pattern
+from ..trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class VNum:
+    value: float
+    trace: Trace
+
+
+@dataclass(frozen=True)
+class VStr:
+    value: str
+
+
+@dataclass(frozen=True)
+class VBool:
+    value: bool
+
+
+@dataclass(frozen=True)
+class VNil:
+    pass
+
+
+@dataclass(frozen=True)
+class VCons:
+    head: "Value"
+    tail: "Value"
+
+
+class VClosure:
+    """Function value.  Not a dataclass: closures are compared by identity
+    and the captured environment may be back-patched for ``letrec``."""
+
+    __slots__ = ("pattern", "body", "env")
+
+    def __init__(self, pattern: Pattern, body: Expr, env):
+        self.pattern = pattern
+        self.body = body
+        self.env = env
+
+    def __repr__(self) -> str:
+        return "<closure>"
+
+
+Value = Union[VNum, VStr, VBool, VNil, VCons, VClosure]
+
+
+def from_pylist(values) -> Value:
+    """Build a little list value from a Python iterable of values."""
+    result: Value = VNil()
+    for value in reversed(list(values)):
+        result = VCons(value, result)
+    return result
+
+
+def to_pylist(value: Value) -> list:
+    """Flatten a little list value into a Python list (must be nil-terminated)."""
+    items = []
+    while isinstance(value, VCons):
+        items.append(value.head)
+        value = value.tail
+    if not isinstance(value, VNil):
+        raise TypeError(f"improper list (tail is {type(value).__name__})")
+    return items
+
+
+def is_list(value: Value) -> bool:
+    while isinstance(value, VCons):
+        value = value.tail
+    return isinstance(value, VNil)
+
+
+def value_equal(left: Value, right: Value) -> bool:
+    """Structural equality *including* numeric values but ignoring traces."""
+    if isinstance(left, VNum) and isinstance(right, VNum):
+        return left.value == right.value
+    if isinstance(left, VStr) and isinstance(right, VStr):
+        return left.value == right.value
+    if isinstance(left, VBool) and isinstance(right, VBool):
+        return left.value == right.value
+    if isinstance(left, VNil) and isinstance(right, VNil):
+        return True
+    if isinstance(left, VCons) and isinstance(right, VCons):
+        return (value_equal(left.head, right.head)
+                and value_equal(left.tail, right.tail))
+    if isinstance(left, VClosure) and isinstance(right, VClosure):
+        return left is right
+    return False
+
+
+def format_number(n: float) -> str:
+    """Render a little number the way the SVG backend and toString do:
+    integral floats print without a decimal point."""
+    if n == int(n) and abs(n) < 1e15:
+        return str(int(n))
+    return repr(float(n))
+
+
+def format_value(value: Value) -> str:
+    """Debug/round-trip rendering of a value in little syntax."""
+    if isinstance(value, VNum):
+        return format_number(value.value)
+    if isinstance(value, VStr):
+        return f"'{value.value}'"
+    if isinstance(value, VBool):
+        return "true" if value.value else "false"
+    if isinstance(value, VNil):
+        return "[]"
+    if isinstance(value, VCons):
+        if is_list(value):
+            inner = " ".join(format_value(item) for item in to_pylist(value))
+            return f"[{inner}]"
+        return f"[{format_value(value.head)}|{format_value(value.tail)}]"
+    return repr(value)

@@ -1,0 +1,23 @@
+"""User-study data and statistical analysis (paper Appendices E and F)."""
+
+from .analysis import (ComparisonResult, analyze_all, analyze_comparison,
+                       experienced_fraction, format_figure9,
+                       format_histogram, hypothesis1_table,
+                       hypothesis2_holds, hypothesis2_table,
+                       plans_to_try_fraction)
+from .bootstrap import (DEFAULT_RESAMPLES, DEFAULT_SEED, MeanEstimate,
+                        bootstrap_t_mean)
+from .data import (A_VS_B, COMPARISONS, C_VS_A, C_VS_B, DESIGN_FREQUENCY,
+                   N_PARTICIPANTS, PAPER_RESULTS, PLANS_TO_TRY,
+                   PROGRAMMING_YEARS, SCALE, TASKS, expand_counts)
+
+__all__ = [
+    "ComparisonResult", "analyze_all", "analyze_comparison",
+    "experienced_fraction", "format_figure9", "format_histogram",
+    "hypothesis1_table", "hypothesis2_holds", "hypothesis2_table",
+    "plans_to_try_fraction",
+    "DEFAULT_RESAMPLES", "DEFAULT_SEED", "MeanEstimate", "bootstrap_t_mean",
+    "A_VS_B", "COMPARISONS", "C_VS_A", "C_VS_B", "DESIGN_FREQUENCY",
+    "N_PARTICIPANTS", "PAPER_RESULTS", "PLANS_TO_TRY", "PROGRAMMING_YEARS",
+    "SCALE", "TASKS", "expand_counts",
+]

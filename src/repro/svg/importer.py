@@ -1,0 +1,162 @@
+"""SVG → little importer.
+
+The paper built the Elm logo by hand-"massaging the definition from the
+SVG format to the representation in little.  This process will be
+automatic once we add support for importing SVG images directly"
+(Appendix D).  This module is that importer: it converts an SVG document
+into little source whose literal numbers then become manipulable
+locations, exactly like the hand-translated logos.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ElementTree
+from typing import List, Optional
+
+from ..lang.errors import SvgError
+
+SUPPORTED_SHAPES = ("rect", "circle", "ellipse", "line", "polygon",
+                    "polyline", "path", "text")
+
+#: Presentation attributes imported verbatim as strings.
+_STRING_ATTRS = ("fill", "stroke", "stroke-width", "opacity",
+                 "fill-opacity", "stroke-opacity", "stroke-linecap",
+                 "stroke-linejoin", "rx", "ry")
+
+_NUMERIC_ATTRS = {
+    "rect": ("x", "y", "width", "height", "rx", "ry"),
+    "circle": ("cx", "cy", "r"),
+    "ellipse": ("cx", "cy", "rx", "ry"),
+    "line": ("x1", "y1", "x2", "y2"),
+    "text": ("x", "y"),
+    "polygon": (),
+    "polyline": (),
+    "path": (),
+}
+
+_NUMBER = re.compile(r"-?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?")
+_PATH_TOKEN = re.compile(r"([MmLlHhVvCcSsQqTtAaZz])|"
+                         r"(-?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?)")
+_TRANSFORM = re.compile(r"(rotate|translate|scale|matrix)\s*\(([^)]*)\)")
+
+
+def _format(number: float) -> str:
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(float(number))
+
+
+def _strip_namespace(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def parse_points(text: str) -> List[List[float]]:
+    """``"x1,y1 x2,y2 …"`` → [[x1, y1], [x2, y2], …]."""
+    numbers = [float(match.group()) for match in _NUMBER.finditer(text)]
+    if len(numbers) % 2 != 0:
+        raise SvgError("odd number of coordinates in points attribute")
+    return [[numbers[i], numbers[i + 1]]
+            for i in range(0, len(numbers), 2)]
+
+
+def parse_path_data(text: str) -> List[object]:
+    """``"M 10 20 C …"`` → the little command-list encoding
+    (['M' 10 20 'C' …])."""
+    items: List[object] = []
+    for match in _PATH_TOKEN.finditer(text):
+        command, number = match.groups()
+        if command is not None:
+            items.append(command)
+        else:
+            items.append(float(number))
+    if items and not isinstance(items[0], str):
+        raise SvgError("path data must start with a command letter")
+    return items
+
+
+def parse_transform(text: str) -> List[List[object]]:
+    """``"rotate(45 10 10) …"`` → [['rotate' 45 10 10] …]."""
+    commands: List[List[object]] = []
+    for name, args in _TRANSFORM.findall(text):
+        numbers = [float(match.group())
+                   for match in _NUMBER.finditer(args)]
+        commands.append([name] + numbers)
+    return commands
+
+
+def _emit_value(value: object) -> str:
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, float):
+        return _format(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, list):
+        return "[" + " ".join(_emit_value(item) for item in value) + "]"
+    raise SvgError(f"cannot emit value {value!r}")
+
+
+def _emit_attr(key: str, value: object) -> str:
+    return f"['{key}' {_emit_value(value)}]"
+
+
+def _import_element(element: ElementTree.Element, lines: List[str],
+                    indent: str) -> None:
+    tag = _strip_namespace(element.tag)
+    if tag in ("svg", "g"):
+        for child in element:
+            _import_element(child, lines, indent)
+        return
+    if tag not in SUPPORTED_SHAPES:
+        return                      # silently skip defs, metadata, etc.
+    attrs: List[str] = []
+    numeric = _NUMERIC_ATTRS.get(tag, ())
+    for key, raw in element.attrib.items():
+        key = _strip_namespace(key)
+        if key in numeric:
+            try:
+                attrs.append(_emit_attr(key, float(raw)))
+                continue
+            except ValueError:
+                pass                # fall through: keep as string
+        if key == "points" and tag in ("polygon", "polyline"):
+            attrs.append(_emit_attr("points", parse_points(raw)))
+        elif key == "d" and tag == "path":
+            attrs.append(_emit_attr("d", parse_path_data(raw)))
+        elif key == "transform":
+            attrs.append(_emit_attr("transform", parse_transform(raw)))
+        elif key in _STRING_ATTRS or key.startswith("data-"):
+            attrs.append(_emit_attr(key, raw))
+        elif key in ("id", "class", "style"):
+            attrs.append(_emit_attr(key, raw))
+        # anything else (xmlns, width/height on the root) is dropped
+    if tag == "text" and element.text:
+        attrs.append(_emit_attr("TEXT", element.text.strip()))
+    attr_text = " ".join(attrs)
+    lines.append(f"{indent}['{tag}' [{attr_text}] []]")
+
+
+def svg_to_little(xml_text: str) -> str:
+    """Convert an SVG document into a little program.
+
+    Every coordinate becomes a literal with its own fresh location — the
+    Elm-logo situation: the shapes are manipulable, but "the high-level
+    relationships between the shapes are not captured" until the user
+    introduces variables (Appendix D).
+    """
+    try:
+        root = ElementTree.fromstring(xml_text)
+    except ElementTree.ParseError as exc:
+        raise SvgError(f"not well-formed XML: {exc}") from exc
+    if _strip_namespace(root.tag) != "svg":
+        raise SvgError("root element must be <svg>")
+    lines: List[str] = []
+    _import_element(root, lines, "  ")
+    body = "\n".join(lines)
+    return "; imported from SVG\n(svg [\n" + body + "\n])\n"
+
+
+def import_svg_file(path) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return svg_to_little(handle.read())

@@ -1,0 +1,99 @@
+"""The SVG node model: little values → structured nodes (§2, Appendix A).
+
+"An SVG node is represented as a list ``[svgNodeKind attributes children]``
+… the intended result of a little program is a node with kind 'svg'."
+
+Attribute values stay as little run-time values, so numbers keep their
+traces — the zone machinery reads them through :class:`AttrRef` paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..lang.errors import SvgError
+from ..lang.values import (VCons, VNil, VNum, VStr, Value, is_list,
+                           to_pylist)
+
+#: Shape kinds with dedicated zone tables (Figure 5).
+SHAPE_KINDS = frozenset({
+    "rect", "circle", "ellipse", "line", "polygon", "polyline", "path",
+    "text",
+})
+
+#: Non-standard attributes consumed by the editor, stripped when exporting
+#: ("we eliminate them when translating to SVG", Appendix A).
+EDITOR_ATTRS = frozenset({"ZONES", "HIDDEN", "TEXT"})
+
+
+@dataclass
+class SvgNode:
+    kind: str
+    attrs: List[Tuple[str, Value]]
+    children: List["SvgNode"]
+
+    def attr(self, key: str) -> Optional[Value]:
+        """The value of the *last* binding of ``key`` (later attributes
+        override earlier ones, as in SVG/XML processing)."""
+        found = None
+        for name, value in self.attrs:
+            if name == key:
+                found = value
+        return found
+
+    def has_attr(self, key: str) -> bool:
+        return any(name == key for name, _ in self.attrs)
+
+    def num(self, key: str) -> VNum:
+        value = self.attr(key)
+        if not isinstance(value, VNum):
+            raise SvgError(f"attribute {key!r} of {self.kind!r} is not "
+                           "a number")
+        return value
+
+    @property
+    def hidden(self) -> bool:
+        """Marked with the 'HIDDEN' attribute (helper shapes, §6.3)."""
+        return self.has_attr("HIDDEN")
+
+
+def value_to_node(value: Value, path: str = "root") -> SvgNode:
+    """Validate and convert a little value into an :class:`SvgNode` tree."""
+    if not is_list(value):
+        raise SvgError(f"{path}: SVG node must be a list")
+    parts = to_pylist(value)
+    if len(parts) != 3:
+        raise SvgError(f"{path}: SVG node must have exactly 3 elements "
+                       f"[kind attrs children], got {len(parts)}")
+    kind_value, attrs_value, children_value = parts
+    if not isinstance(kind_value, VStr):
+        raise SvgError(f"{path}: node kind must be a string")
+    kind = kind_value.value
+    if not is_list(attrs_value):
+        raise SvgError(f"{path}: attributes of {kind!r} must be a list")
+    attrs: List[Tuple[str, Value]] = []
+    for index, pair in enumerate(to_pylist(attrs_value)):
+        if not is_list(pair):
+            raise SvgError(f"{path}: attribute {index} of {kind!r} is not "
+                           "a [key value] pair")
+        pair_parts = to_pylist(pair)
+        if len(pair_parts) != 2 or not isinstance(pair_parts[0], VStr):
+            raise SvgError(f"{path}: attribute {index} of {kind!r} must be "
+                           "a [key value] pair with a string key")
+        attrs.append((pair_parts[0].value, pair_parts[1]))
+    if not is_list(children_value):
+        raise SvgError(f"{path}: children of {kind!r} must be a list")
+    children = [value_to_node(child, f"{path}/{kind}[{index}]")
+                for index, child in enumerate(to_pylist(children_value))]
+    return SvgNode(kind, attrs, children)
+
+
+def parse_canvas(value: Value) -> SvgNode:
+    """Convert a program's output into its canvas node, checking the §2
+    requirement that the result has kind 'svg'."""
+    node = value_to_node(value)
+    if node.kind != "svg":
+        raise SvgError(
+            f"program output must be an 'svg' node, got {node.kind!r}")
+    return node

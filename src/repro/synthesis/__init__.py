@@ -1,0 +1,15 @@
+"""Trace-based program synthesis: solvers and candidate enumeration (§3, §5.1)."""
+
+from .adhoc import AdHocSession, RankedUpdate
+from .solver import (in_a_fragment, in_b_fragment, in_solver_fragment,
+                     solve_addition_only, solve_linear, solve_one,
+                     solve_single_occurrence, walk_plus)
+from .synthesize import Candidate, synthesize_plausible
+
+__all__ = [
+    "AdHocSession", "RankedUpdate",
+    "in_a_fragment", "in_b_fragment", "in_solver_fragment",
+    "solve_addition_only", "solve_linear", "solve_one",
+    "solve_single_occurrence", "walk_plus",
+    "Candidate", "synthesize_plausible",
+]

@@ -1,0 +1,83 @@
+"""``SynthesizePlausible`` — enumerate candidate local updates (App. B.2).
+
+Given the original substitution ρ0 and a set of value-trace equations
+``{n′1 = t1, …, n′m = tm}`` induced by user edits, enumerate substitutions
+
+    SynthesizePlausible(ρ0, …) =
+        { ρ0 (⊕ᵢ (ℓᵢ → kᵢ)) | (ℓ1, …, ℓm) ∈ L′1 × … × L′m }
+
+where ``kᵢ = Solve(ρ0, ℓᵢ, n′ᵢ = tᵢ)`` and ``L′ᵢ = Locs(tᵢ)``.  Later
+bindings shadow earlier ones, so the results are *plausible*, not
+necessarily faithful (§3, §4.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+from ..lang.ast import Loc
+from ..lang.errors import SolverFailure
+from ..trace.equation import Equation
+from ..trace.substitution import Substitution
+from .solver import solve_linear, solve_one
+
+#: Safety cap on the cross-product enumeration; equations from real examples
+#: have small location sets (§5.2.1 reports 3.83 candidates on average).
+MAX_CANDIDATES = 4096
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One candidate update: which location each equation solved for, the
+    solved values, and the resulting substitution."""
+
+    choice: Tuple[Loc, ...]
+    values: Tuple[float, ...]
+    substitution: Substitution
+
+
+def synthesize_plausible(rho0: Mapping[Loc, float],
+                         equations: Sequence[Equation],
+                         *, allow_linear: bool = False,
+                         max_candidates: int = MAX_CANDIDATES
+                         ) -> List[Candidate]:
+    """Enumerate candidate substitutions for the given equations.
+
+    ``allow_linear`` additionally admits linear multi-occurrence equations
+    (needed to exhibit all four Figure 1D candidates); the paper's own
+    solver is used when it is False.
+    """
+    location_sets = []
+    for equation in equations:
+        unknowns = sorted(equation.unknowns(), key=lambda loc: loc.ident)
+        if not unknowns:
+            return []
+        location_sets.append(unknowns)
+
+    candidates: List[Candidate] = []
+    for choice in itertools.islice(itertools.product(*location_sets),
+                                   max_candidates):
+        values: List[float] = []
+        bindings: List[Tuple[Loc, float]] = []
+        try:
+            for loc, equation in zip(choice, equations):
+                try:
+                    value = solve_one(rho0, loc, equation.target,
+                                      equation.trace)
+                except SolverFailure:
+                    if not allow_linear:
+                        raise
+                    value = solve_linear(rho0, loc, equation.target,
+                                         equation.trace)
+                values.append(value)
+                bindings.append((loc, value))
+        except SolverFailure:
+            continue
+        substitution = Substitution(rho0)
+        for loc, value in bindings:
+            substitution = substitution.extend(loc, value)
+        candidates.append(Candidate(tuple(choice), tuple(values),
+                                    substitution))
+    return candidates

@@ -1,0 +1,104 @@
+"""Value contexts, similarity, and faithful/plausible update checking (§3).
+
+A value context V is a value with holes in place of its numbers; two values
+are *similar* (V ∼ V′) when they are structurally equal up to numeric
+constants with identical traces.  The definitions of faithful and plausible
+updates from §3 are implemented verbatim:
+
+* ρ is **faithful** for updates ``w1…wj ⇝ w′1…w′j`` if whenever
+  ``ρe ⇓ v′ = V′(w″1,…,w″k)`` with ``V′ ∼ V``, then ``w″i = w′i`` for *all*
+  ``1 ≤ i ≤ j``.
+* ρ is **plausible** if ``w″i = w′i`` for *some* ``1 ≤ i ≤ j``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..lang.errors import LittleError
+from ..lang.values import (VBool, VClosure, VCons, VNil, VNum, VStr, Value)
+from .trace import trace_key
+
+
+def numeric_leaves(value: Value) -> List[VNum]:
+    """The numbers ``w1 … wk`` of the output, in deterministic
+    (left-to-right) order — the holes of the value context."""
+    leaves: List[VNum] = []
+    _collect(value, leaves)
+    return leaves
+
+
+def _collect(value: Value, leaves: List[VNum]) -> None:
+    if isinstance(value, VNum):
+        leaves.append(value)
+    elif isinstance(value, VCons):
+        _collect(value.head, leaves)
+        _collect(value.tail, leaves)
+
+
+def similar(left: Value, right: Value) -> bool:
+    """V ∼ V′: structural equality up to numeric constants; numbers must
+    carry the same trace (``n1ᵗ ∼ n2ᵗ``)."""
+    if isinstance(left, VNum) and isinstance(right, VNum):
+        return trace_key(left.trace) == trace_key(right.trace)
+    if isinstance(left, VStr) and isinstance(right, VStr):
+        return left.value == right.value
+    if isinstance(left, VBool) and isinstance(right, VBool):
+        return left.value == right.value
+    if isinstance(left, VNil) and isinstance(right, VNil):
+        return True
+    if isinstance(left, VCons) and isinstance(right, VCons):
+        return similar(left.head, right.head) and similar(left.tail,
+                                                          right.tail)
+    if isinstance(left, VClosure) and isinstance(right, VClosure):
+        return True
+    return False
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Outcome of checking a candidate update ρ against user edits."""
+
+    similar: bool                 # condition (c): V′ ∼ V
+    matched: Optional[Dict[int, bool]]  # per edited index: w″i == w′i
+    faithful: bool
+    plausible: bool
+    error: Optional[str] = None   # evaluation error of ρe, if any
+
+
+def check_update(program, rho, edits: Dict[int, float],
+                 original_output: Optional[Value] = None,
+                 abs_tol: float = 1e-6) -> UpdateReport:
+    """Classify the update ρ per the §3 definitions.
+
+    ``edits`` maps indices into :func:`numeric_leaves` of the original
+    output to the user's new values ``w′i``.
+    """
+    if original_output is None:
+        original_output = program.evaluate()
+    try:
+        new_output = program.substitute(rho).evaluate()
+    except LittleError as exc:
+        # Condition (c) never holds, so the implication of faithfulness is
+        # vacuously true but the update is not plausible in any useful sense.
+        return UpdateReport(similar=False, matched=None, faithful=True,
+                            plausible=False, error=str(exc))
+    if not similar(original_output, new_output):
+        # Control flow changed (V′ ≁ V) — e.g. dragging cars1 of the ferris
+        # wheel changes numSpokes and therefore the number of shapes (§6.2).
+        return UpdateReport(similar=False, matched=None, faithful=True,
+                            plausible=False)
+    new_leaves = numeric_leaves(new_output)
+    matched = {
+        index: math.isclose(new_leaves[index].value, wanted,
+                            rel_tol=1e-9, abs_tol=abs_tol)
+        for index, wanted in edits.items()
+    }
+    return UpdateReport(
+        similar=True,
+        matched=matched,
+        faithful=all(matched.values()),
+        plausible=any(matched.values()),
+    )

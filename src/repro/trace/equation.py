@@ -1,0 +1,44 @@
+"""Value-trace equations ``n = t`` (§2.2, §3).
+
+A user manipulation replaces the left-hand side of an equation with the new
+desired value; solving for one location in ``t`` yields a local update.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..lang.ast import Loc
+from ..lang.errors import LittleRuntimeError
+from .trace import Trace, eval_trace, format_trace, locs
+
+
+@dataclass(frozen=True)
+class Equation:
+    """``target = trace`` — e.g. Equation 3′ of §2.2:
+    ``155 = (+ x0 (* (+ ℓ1 (+ ℓ1 ℓ0)) sep))``."""
+
+    target: float
+    trace: Trace
+
+    def residual(self, rho: Mapping[Loc, float]) -> float:
+        """``ρt − target``; 0 when the equation is satisfied."""
+        return eval_trace(self.trace, rho) - self.target
+
+    def satisfied(self, rho: Mapping[Loc, float],
+                  rel_tol: float = 1e-9, abs_tol: float = 1e-6) -> bool:
+        try:
+            value = eval_trace(self.trace, rho)
+        except (LittleRuntimeError, KeyError):
+            return False
+        return math.isclose(value, self.target,
+                            rel_tol=rel_tol, abs_tol=abs_tol)
+
+    def unknowns(self):
+        """The candidate locations to solve for: ``Locs(t)`` (non-frozen)."""
+        return locs(self.trace)
+
+    def __str__(self) -> str:
+        return f"{self.target} = {format_trace(self.trace)}"

@@ -1,0 +1,65 @@
+"""Substitutions ρ: finite maps from program locations to numbers (§3).
+
+"When applied to an expression, the bindings of a substitution are applied
+from left-to-right.  Thus, the rightmost binding of any location takes
+precedence.  We use juxtaposition ρρ′ to denote concatenation, and we write
+ρ ⊕ (ℓ → n) to denote ρ[ℓ → n]."
+
+A Python dict already gives rightmost-wins semantics under ``update``;
+:class:`Substitution` wraps one with the paper's vocabulary plus provenance
+helpers used in reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from ..lang.ast import Loc
+
+
+class Substitution(Mapping[Loc, float]):
+    """An immutable substitution; ``extend``/``concat`` return new objects."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Optional[Mapping[Loc, float]] = None):
+        self._map: Dict[Loc, float] = dict(mapping) if mapping else {}
+
+    # Mapping interface -------------------------------------------------------
+
+    def __getitem__(self, loc: Loc) -> float:
+        return self._map[loc]
+
+    def __iter__(self) -> Iterator[Loc]:
+        return iter(self._map)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{loc.display()} -> {value}"
+                          for loc, value in self._map.items())
+        return f"[{inner}]"
+
+    # Paper operations ---------------------------------------------------------
+
+    def extend(self, loc: Loc, value: float) -> "Substitution":
+        """ρ ⊕ (ℓ → n)."""
+        new = Substitution(self._map)
+        new._map[loc] = value
+        return new
+
+    def concat(self, other: Mapping[Loc, float]) -> "Substitution":
+        """ρρ′ — other's bindings take precedence (rightmost wins)."""
+        new = Substitution(self._map)
+        new._map.update(other)
+        return new
+
+    def changes_from(self, base: Mapping[Loc, float]) -> Dict[Loc, float]:
+        """The bindings that differ from ``base`` — the essence of a local
+        update ("the set of constants L that are changed", §2.3)."""
+        return {loc: value for loc, value in self._map.items()
+                if base.get(loc) != value}
+
+    def changed_locs(self, base: Mapping[Loc, float]) -> Tuple[Loc, ...]:
+        return tuple(self.changes_from(base))

@@ -1,0 +1,137 @@
+"""Run-time traces (paper §2.1 and Figure 2).
+
+``t ::= ℓ | (op t1 … tm)``
+
+A trace leaf is a :class:`~repro.lang.ast.Loc` object itself; compound traces
+are :class:`OpTrace` nodes built by the evaluator's E-OP-NUM rule.  Traces
+record *data flow but not control flow* (§2.1, "Dataflow-Only Traces").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple, Union
+
+from ..lang.ast import Loc
+from ..lang.ops import apply_numeric_op
+
+
+@dataclass(frozen=True)
+class OpTrace:
+    op: str
+    args: Tuple["Trace", ...]
+
+
+Trace = Union[Loc, OpTrace]
+
+
+def locs(trace: Trace) -> FrozenSet[Loc]:
+    """``Locs(t)``: the non-frozen locations appearing in ``trace`` (§4.1).
+
+    Frozen constants (``!`` annotations and Prelude literals) are excluded —
+    the synthesizer never changes them (§2.2).
+    """
+    found = set()
+    stack = [trace]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Loc):
+            if not node.frozen:
+                found.add(node)
+        else:
+            stack.extend(node.args)
+    return frozenset(found)
+
+
+def all_locs(trace: Trace) -> FrozenSet[Loc]:
+    """All locations in ``trace``, frozen or not."""
+    found = set()
+    stack = [trace]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Loc):
+            found.add(node)
+        else:
+            stack.extend(node.args)
+    return frozenset(found)
+
+
+def occurrences(trace: Trace, loc: Loc) -> int:
+    """How many times ``loc`` occurs in ``trace`` (counting repeats)."""
+    count = 0
+    stack = [trace]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Loc):
+            if node == loc:
+                count += 1
+        else:
+            stack.extend(node.args)
+    return count
+
+
+def count_loc_occurrences(traces) -> Dict[Loc, int]:
+    """Occurrence counts of every location across ``traces`` — the
+    ``Count(ℓ)`` of the biased heuristic (Appendix B.1)."""
+    counts: Dict[Loc, int] = {}
+    for trace in traces:
+        stack = [trace]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Loc):
+                counts[node] = counts.get(node, 0) + 1
+            else:
+                stack.extend(node.args)
+    return counts
+
+
+def trace_size(trace: Trace) -> int:
+    """Number of tree nodes — the "Mean Trace Size" statistic of Appendix G."""
+    size = 0
+    stack = [trace]
+    while stack:
+        node = stack.pop()
+        size += 1
+        if isinstance(node, OpTrace):
+            stack.extend(node.args)
+    return size
+
+
+def trace_key(trace: Trace):
+    """A hashable structural key, used to deduplicate pre-equations (§5.2.2:
+    "we filter out tuples that are identical modulo v and ζ")."""
+    if isinstance(trace, Loc):
+        return ("loc", trace.ident)
+    return (trace.op,) + tuple(trace_key(arg) for arg in trace.args)
+
+
+def is_addition_only(trace: Trace) -> bool:
+    """True when the only operator in ``trace`` is ``+`` — the syntactic
+    fragment of SolveA (Appendix B.2)."""
+    stack = [trace]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, OpTrace):
+            if node.op != "+":
+                return False
+            stack.extend(node.args)
+    return True
+
+
+def eval_trace(trace: Trace, rho) -> float:
+    """``ρt``: evaluate a trace under a substitution giving every location a
+    value.  Raises ``KeyError`` for unmapped locations and
+    :class:`~repro.lang.errors.LittleRuntimeError` on domain errors."""
+    if isinstance(trace, Loc):
+        return rho[trace]
+    args = [eval_trace(arg, rho) for arg in trace.args]
+    return apply_numeric_op(trace.op, args)
+
+
+def format_trace(trace: Trace) -> str:
+    """Render a trace in the paper's prefix notation, e.g.
+    ``(+ x0 (* i sep))``."""
+    if isinstance(trace, Loc):
+        return trace.display()
+    inner = " ".join(format_trace(arg) for arg in trace.args)
+    return f"({trace.op} {inner})" if inner else f"({trace.op})"

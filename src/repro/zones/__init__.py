@@ -1,0 +1,17 @@
+"""Zones, shape assignments, heuristics and mouse triggers (§4, App. B)."""
+
+from .assignment import (Assignment, CanvasAssignments, HEURISTICS,
+                         ZoneAnalysis, analyze_canvas, analyze_zone,
+                         assign_canvas)
+from .triggers import (FeatureOutcome, MouseTrigger, TriggerResult,
+                       compute_triggers)
+from .zones import (Feature, X_AXIS, Y_AXIS, Zone, zones_for_canvas,
+                    zones_for_shape)
+
+__all__ = [
+    "Assignment", "CanvasAssignments", "HEURISTICS", "ZoneAnalysis",
+    "analyze_canvas", "analyze_zone", "assign_canvas",
+    "FeatureOutcome", "MouseTrigger", "TriggerResult", "compute_triggers",
+    "Feature", "X_AXIS", "Y_AXIS", "Zone", "zones_for_canvas",
+    "zones_for_shape",
+]

@@ -1,0 +1,116 @@
+"""Tests for ad hoc synchronization (§7.2 goal (c)): accumulate several
+output edits, then reconcile with ranked candidates."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.synthesis.adhoc import AdHocSession
+
+THREE_BOXES = (
+    "(def [x0 sep] [40 110]) "
+    "(svg (map (\\i (rect 'lightblue' (+ x0 (mult i sep)) 30! 60! 120!)) "
+    "(zeroTo 3!)))")
+# box x-positions: 40, 150, 260
+
+
+@pytest.fixture
+def session():
+    return AdHocSession(parse_program(THREE_BOXES))
+
+
+class TestEditAccumulation:
+    def test_edit_by_index(self, session):
+        index = session.edit_value(150.0, 180.0)
+        assert session.edits == {index: 180.0}
+
+    def test_edit_out_of_range(self, session):
+        with pytest.raises(IndexError):
+            session.edit(999, 1.0)
+
+    def test_edit_value_missing(self, session):
+        with pytest.raises(ValueError):
+            session.edit_value(123456.0, 1.0)
+
+    def test_reconcile_with_no_edits(self, session):
+        assert session.reconcile() == []
+
+
+class TestSingleEditReconcile:
+    def test_candidates_for_one_edit(self, session):
+        session.edit_value(150.0, 180.0)   # second box: x0 + sep
+        updates = session.reconcile()
+        changed = {update.changed_locs[0].display() for update in updates}
+        assert changed == {"x0", "sep"}
+
+    def test_all_candidates_faithful_for_one_edit(self, session):
+        session.edit_value(150.0, 180.0)
+        for update in session.reconcile():
+            assert update.faithful
+
+    def test_ranking_prefers_more_soft_preservation(self, session):
+        # Changing x0 moves all three boxes (0 soft x-values preserved);
+        # changing sep keeps box 0 fixed (more preserved).
+        session.edit_value(150.0, 180.0)
+        best = session.reconcile()[0]
+        assert best.changed_locs[0].display() == "sep"
+
+
+class TestMultiEditReconcile:
+    def test_consistent_translation_found(self, session):
+        """Moving both box 1 and box 2 by +30 is exactly 'x0 += 30' --
+        reconciliation finds a faithful single-location update."""
+        session.edit_value(40.0, 70.0)
+        session.edit_value(150.0, 180.0)
+        best = session.reconcile()[0]
+        assert best.faithful
+        assert [loc.display() for loc in best.changed_locs] == ["x0"]
+
+    def test_consistent_respacing_found(self, session):
+        """box1 -> 190, box2 -> 340 is 'sep = 150' exactly."""
+        session.edit_value(150.0, 190.0)
+        session.edit_value(260.0, 340.0)
+        best = session.reconcile()[0]
+        assert best.faithful
+        assert [loc.display() for loc in best.changed_locs] == ["sep"]
+        assert best.substitution[best.changed_locs[0]] == \
+            pytest.approx(150.0)
+
+    def test_interacting_edits_are_plausible_only(self, session):
+        """box0 -> 80 and box1 -> 230 interact through x0: equations are
+        solved independently against rho0 (design principle I of B.2), so
+        no candidate satisfies both — every result is plausible, not
+        faithful, exactly the §3 trade-off."""
+        session.edit_value(40.0, 80.0)
+        session.edit_value(150.0, 230.0)
+        updates = session.reconcile()
+        assert updates
+        assert all(update.hard_satisfied >= 1 for update in updates)
+        assert all(not update.faithful for update in updates)
+
+    def test_inconsistent_edits_yield_plausible_best(self, session):
+        """Contradictory edits to the same underlying structure cannot all
+        be satisfied by small updates; ranking still returns the best
+        plausible candidates."""
+        session.edit_value(40.0, 100.0)    # implies x0 = 100
+        session.edit_value(150.0, 150.0)   # implies x0 = 40 (unchanged)
+        updates = session.reconcile()
+        assert updates
+        assert updates[0].hard_satisfied >= 1
+        assert not updates[0].faithful
+
+    def test_describe_mentions_location_and_scores(self, session):
+        session.edit_value(150.0, 180.0)
+        text = session.reconcile()[0].describe()
+        assert "sep" in text and "edits matched" in text
+
+
+class TestApply:
+    def test_apply_commits_and_resets(self, session):
+        session.edit_value(150.0, 180.0)
+        best = session.reconcile()[0]
+        new_program = session.apply(best)
+        assert session.edits == {}
+        assert "140" in new_program.unparse()   # sep is now 140
+        # Subsequent edits work against the new output.
+        session.edit_value(40.0, 50.0)
+        assert session.reconcile()

@@ -1,0 +1,136 @@
+"""Tests for zone analysis, shape assignments and the fair/biased
+heuristics (§2.3, §4.1, Appendix B.1)."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.svg import Canvas
+from repro.zones import analyze_canvas, assign_canvas
+
+
+def prepared(source, heuristic="fair"):
+    program = parse_program(source)
+    canvas = Canvas.from_value(program.evaluate())
+    return program, canvas, assign_canvas(canvas, heuristic)
+
+
+class TestZoneAnalysis:
+    def test_inactive_when_all_frozen(self):
+        _, canvas, assignments = prepared(
+            "(svg [(rect 'r' 10! 20! 30! 40!)])")
+        for analysis in assignments.analyses:
+            assert not analysis.active
+        assert assignments.chosen == {}
+
+    def test_partial_assignment_when_one_attr_frozen(self):
+        _, canvas, assignments = prepared(
+            "(def x 10) (svg [(rect 'r' x 20! 30! 40!)])")
+        analysis = assignments.analysis(0, "LEFTEDGE")
+        # x: {x}; width frozen -> uncontrolled, but the zone stays Active
+        # with a single candidate over x alone (§6.3 slider balls rely on
+        # this partial-assignment behaviour).
+        assert analysis.active
+        assert analysis.candidate_count == 1
+        assignment = assignments.lookup(0, "LEFTEDGE")
+        assert [loc.display() if loc else None
+                for loc in assignment.theta] == ["x", None]
+
+    def test_rect_interior_cross_product(self, sine_session):
+        analysis = sine_session.assignments.analysis(0, "INTERIOR")
+        # x: {x0, sep}; y: {y0, amp} -> 4 candidates (§4.1).
+        assert analysis.candidate_count == 4
+
+    def test_grouping_collapses_shared_locsets(self):
+        # All six polygon coordinates share two locsets -> 4 candidates,
+        # not 2^6.
+        source = """
+        (def [x0 y0 size] [10 10 50])
+        (svg [(polygon 'f' 's' 1
+          [[x0 y0] [(+ x0 size) y0] [x0 (+ y0 size)]])])
+        """
+        _, canvas, assignments = prepared(source)
+        analysis = assignments.analysis(0, "INTERIOR")
+        assert analysis.candidate_count == 4
+
+    def test_candidates_align_with_features(self, sine_session):
+        analysis = sine_session.assignments.analysis(0, "INTERIOR")
+        for candidate in analysis.iter_candidates():
+            assert len(candidate) == len(analysis.zone.features)
+
+
+class TestFairHeuristic:
+    def test_rotation_on_sine_wave(self, sine_session):
+        """§4.1: γ(boxi) = θ_{1+(i mod 4)} — the assignment rotates through
+        all four candidates."""
+        seen = []
+        for i in range(8):
+            assignment = sine_session.assignments.lookup(i, "INTERIOR")
+            seen.append(frozenset(loc.display()
+                                  for loc in assignment.location_set))
+        # First four assignments are all distinct...
+        assert len(set(seen[:4])) == 4
+        # ...and the rotation repeats with period 4.
+        assert seen[:4] == seen[4:8]
+
+    def test_first_box_gets_x0_y0(self, sine_session):
+        assignment = sine_session.assignments.lookup(0, "INTERIOR")
+        names = {loc.display() for loc in assignment.location_set}
+        assert names == {"x0", "y0"}
+
+    def test_all_active_zones_assigned(self, sine_session):
+        active = [a for a in sine_session.assignments.analyses if a.active]
+        assert len(active) == len(sine_session.assignments.chosen)
+
+
+class TestBiasedHeuristic:
+    """Appendix B.1: the variant program where x0' = x0 + a + a + b + b.
+    The fair heuristic rotates through {x0, a, b, sep}; the biased one
+    avoids a and b because they occur in twice as many traces."""
+
+    SOURCE = """
+    (def [x0 y0 w h sep amp] [50 120 20 90 30 60])
+    (def n 12!{3-30})
+    (def [a b] [0 0])
+    (def xBase (+ x0 (+ a (+ a (+ b b)))))
+    (def boxi (\\i
+      (let xi (+ xBase (* i sep))
+      (let yi (- y0 (* amp (sin (* i (/ twoPi n)))))
+      (rect 'lightblue' xi yi w h)))))
+    (svg (map boxi (zeroTo n)))
+    """
+
+    def test_fair_uses_a_and_b(self):
+        _, _, assignments = prepared(self.SOURCE, "fair")
+        used = set()
+        for i in range(12):
+            assignment = assignments.lookup(i, "INTERIOR")
+            used.update(loc.display() for loc in assignment.location_set)
+        assert {"a", "b"} <= used
+
+    def test_biased_avoids_a_and_b(self):
+        _, _, assignments = prepared(self.SOURCE, "biased")
+        used = set()
+        for i in range(12):
+            assignment = assignments.lookup(i, "INTERIOR")
+            used.update(loc.display() for loc in assignment.location_set)
+        assert "a" not in used and "b" not in used
+        assert {"x0", "sep"} <= used
+
+    def test_biased_alternates_x0_and_sep(self):
+        _, _, assignments = prepared(self.SOURCE, "biased")
+        x_locs = []
+        for i in range(4):
+            assignment = assignments.lookup(i, "INTERIOR")
+            x_loc = assignment.theta[0]
+            x_locs.append(x_loc.display())
+        assert set(x_locs) == {"x0", "sep"}
+
+    def test_unknown_heuristic_rejected(self, sine_canvas):
+        with pytest.raises(ValueError):
+            assign_canvas(sine_canvas, "magic")
+
+
+class TestCaptions:
+    def test_caption_names_location_set(self, sine_session):
+        assignment = sine_session.assignments.lookup(0, "INTERIOR")
+        assert assignment.caption() == "Active: changes {x0, y0}"

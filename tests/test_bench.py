@@ -1,0 +1,151 @@
+"""Tests for the measurement harness (zone stats, pre-equations, perf)."""
+
+import pytest
+
+from repro.bench import (equation_totals, extract_pre_equations,
+                         format_equation_table, format_loc_rows,
+                         format_perf_table, format_zone_rows,
+                         format_zone_table, loc_stats, loc_totals,
+                         measure_example, measure_solve, prepare_corpus,
+                         prepare_example, zone_stats, zone_totals,
+                         corpus_zone_stats, corpus_loc_stats)
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return prepare_corpus(["sine_wave_of_boxes", "three_boxes",
+                           "thaw_freeze", "clique"])
+
+
+@pytest.fixture(scope="module")
+def sine_prepared(small_corpus):
+    return small_corpus["sine_wave_of_boxes"]
+
+
+class TestZoneStats:
+    def test_sine_wave_counts(self, sine_prepared):
+        row = zone_stats(sine_prepared)
+        assert row.shape_count == 12
+        assert row.zone_count == 108
+        # Matches the paper's Wave Boxes row: 0 inactive, 36 with one
+        # choice, 72 ambiguous with 2.67 candidates on average.
+        assert row.inactive == 0
+        assert row.unambiguous == 36
+        assert row.ambiguous == 72
+        assert row.ambiguous_avg == pytest.approx(2.67, abs=0.01)
+
+    def test_thaw_freeze_has_inactive_zones(self, small_corpus):
+        row = zone_stats(small_corpus["thaw_freeze"])
+        assert row.inactive > 0
+
+    def test_totals_sum_rows(self, small_corpus):
+        rows = corpus_zone_stats(small_corpus)
+        totals = zone_totals(rows)
+        assert totals.zones == sum(r.zone_count for r in rows)
+        assert totals.active == totals.zones - totals.inactive
+        assert totals.unambiguous + totals.ambiguous == totals.active
+
+    def test_percentages(self, small_corpus):
+        totals = zone_totals(corpus_zone_stats(small_corpus))
+        assert 0 <= totals.inactive_pct <= 100
+        assert totals.unambiguous_pct + totals.ambiguous_pct == \
+            pytest.approx(100 - totals.inactive_pct, abs=0.5)
+
+
+class TestPreEquations:
+    def test_extraction_counts(self, sine_prepared):
+        total, unique = extract_pre_equations(sine_prepared)
+        # One tuple per (active zone, controlled attribute).
+        expected = sum(
+            len(a.zone.features)
+            for key, a in zip(sine_prepared.assignments.chosen,
+                              sine_prepared.assignments.analyses)
+            if a.active)
+        assert total > len(unique) > 0
+
+    def test_dedup_shares_traces(self, small_corpus):
+        # three_boxes: many zones share identical (loc, trace) pairs.
+        total, unique = extract_pre_equations(small_corpus["three_boxes"])
+        assert total > len(unique)
+
+    def test_fragment_classification_consistent(self, sine_prepared):
+        _, unique = extract_pre_equations(sine_prepared)
+        for equation in unique:
+            if equation.in_a:
+                from repro.trace import is_addition_only
+                assert is_addition_only(equation.trace)
+
+    def test_totals(self, small_corpus):
+        totals = equation_totals(small_corpus)
+        assert totals.unique == totals.outside + totals.inside
+        assert totals.inside == totals.unsolved_d1 + totals.solved_d1
+        assert totals.solved_d1 == totals.unsolved_d100 + totals.solved_d100
+        assert totals.mean_trace_size > 1
+
+    def test_solved_implies_in_fragment(self, small_corpus):
+        for example in small_corpus.values():
+            _, unique = extract_pre_equations(example)
+            for equation in unique:
+                if not equation.in_fragment:
+                    assert not equation.solved[1.0]
+                    assert not equation.solved[100.0]
+
+
+class TestPerf:
+    def test_measure_example(self, sine_prepared):
+        times = measure_example(sine_prepared, runs=2)
+        for op in ("parse", "eval", "prepare"):
+            assert len(times[op].samples) == 2
+            assert times[op].min_ms >= 0
+
+    def test_measure_solve(self, sine_prepared):
+        times = measure_solve(sine_prepared, repeats=1)
+        assert times.samples
+        assert times.avg_ms < 50   # solver is fast (<1ms in the paper)
+
+    def test_summary_statistics(self, sine_prepared):
+        times = measure_example(sine_prepared, runs=3)["eval"]
+        assert times.min_ms <= times.median_ms <= times.max_ms
+        assert times.min_ms <= times.avg_ms <= times.max_ms
+
+
+class TestLocStats:
+    def test_sine_wave(self, sine_prepared):
+        row = loc_stats(sine_prepared)
+        # x0 y0 w h sep amp unfrozen (n frozen).
+        assert row.unfrozen == 6
+        assert row.assigned == 6
+        assert row.unassigned == 0
+        assert row.output_locs > row.unfrozen   # prelude+frozen locs too
+
+    def test_totals(self, small_corpus):
+        rows = corpus_loc_stats(small_corpus)
+        totals = loc_totals(rows)
+        assert totals.assigned + totals.unassigned == totals.unfrozen
+
+
+class TestReports:
+    def test_zone_table_renders(self, small_corpus):
+        text = format_zone_table(zone_totals(corpus_zone_stats(small_corpus)))
+        assert "paper" in text and "Ambiguous" in text
+
+    def test_equation_table_renders(self, small_corpus):
+        text = format_equation_table(equation_totals(small_corpus))
+        assert "Unique pre-equations" in text
+
+    def test_perf_table_renders(self, small_corpus):
+        from repro.bench import measure_corpus
+        times = measure_corpus(
+            {"sine_wave_of_boxes": small_corpus["sine_wave_of_boxes"]},
+            runs=1)
+        text = format_perf_table(times)
+        assert "Solve" in text and "Prepare" in text
+
+    def test_per_example_tables_render(self, small_corpus):
+        rows = corpus_zone_stats(small_corpus)
+        assert "sine_wave_of_boxes" in format_zone_rows(rows)
+        lrows = corpus_loc_stats(small_corpus)
+        assert "Totals" in format_loc_rows(lrows, loc_totals(lrows))
+
+    def test_source_loc_counter(self, sine_prepared):
+        assert sine_prepared.source_loc >= 7

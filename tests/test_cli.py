@@ -1,0 +1,92 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+LITTLE_SOURCE = """
+(def [x y] [10 20])
+(svg [(rect 'lightblue' x y 30 40)])
+"""
+
+SVG_SOURCE = (
+    '<svg xmlns="http://www.w3.org/2000/svg">'
+    '<rect x="1" y="2" width="3" height="4" fill="red"/></svg>')
+
+
+@pytest.fixture
+def little_file(tmp_path):
+    path = tmp_path / "boxes.little"
+    path.write_text(LITTLE_SOURCE, encoding="utf-8")
+    return path
+
+
+class TestRun:
+    def test_run_prints_svg(self, little_file, capsys):
+        assert main(["run", str(little_file)]) == 0
+        out = capsys.readouterr().out
+        assert "<rect" in out and 'x="10"' in out
+
+    def test_run_writes_file(self, little_file, tmp_path, capsys):
+        out_file = tmp_path / "out.svg"
+        assert main(["run", str(little_file), "-o", str(out_file)]) == 0
+        assert out_file.read_text().startswith("<svg")
+        assert "1 shapes" in capsys.readouterr().out
+
+    def test_run_include_hidden(self, tmp_path, capsys):
+        path = tmp_path / "ghost.little"
+        path.write_text("(svg [(ghost (rect 'r' 1 2 3 4))])",
+                        encoding="utf-8")
+        main(["run", str(path)])
+        assert "<rect" not in capsys.readouterr().out
+        main(["run", str(path), "--include-hidden"])
+        assert "<rect" in capsys.readouterr().out
+
+
+class TestExamples:
+    def test_list(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "sine_wave_of_boxes" in out
+        assert "ferris_wheel" in out
+
+    def test_render(self, tmp_path, capsys):
+        assert main(["examples", "--render", str(tmp_path / "g")]) == 0
+        rendered = list((tmp_path / "g").glob("*.svg"))
+        assert len(rendered) >= 50
+
+
+class TestImportSvg:
+    def test_import_prints_little(self, tmp_path, capsys):
+        path = tmp_path / "in.svg"
+        path.write_text(SVG_SOURCE, encoding="utf-8")
+        assert main(["import-svg", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith(";")
+        assert "['rect'" in out
+
+    def test_import_roundtrips_through_run(self, tmp_path, capsys):
+        svg_path = tmp_path / "in.svg"
+        svg_path.write_text(SVG_SOURCE, encoding="utf-8")
+        little_path = tmp_path / "out.little"
+        main(["import-svg", str(svg_path), "-o", str(little_path)])
+        capsys.readouterr()
+        main(["run", str(little_path)])
+        assert 'width="3"' in capsys.readouterr().out
+
+
+class TestStudy:
+    def test_study_prints_figure9(self, capsys):
+        assert main(["study", "--resamples", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "Ferris" in out and "paper" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,199 @@
+"""Integration tests for the headless live-synchronization editor (§4–§5)."""
+
+import pytest
+
+from repro.editor import EditorError, LiveSession
+
+
+class TestSessionLifecycle:
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(EditorError):
+            LiveSession()
+
+    def test_run_builds_canvas(self, sine_session):
+        assert len(sine_session.canvas) == 12
+
+    def test_prepare_builds_triggers_for_active_zones(self, sine_session):
+        assert sine_session.active_zone_count() == \
+            len(sine_session.triggers)
+
+    def test_zone_names(self, sine_session):
+        assert "INTERIOR" in sine_session.zone_names(0)
+        assert len(sine_session.zone_names(0)) == 9
+
+
+class TestHover:
+    def test_active_caption(self, sine_session):
+        info = sine_session.hover(0, "INTERIOR")
+        assert info.active
+        assert info.caption == "Active: changes {x0, y0}"
+
+    def test_unselected_locations_reported(self, sine_session):
+        # Gray highlight: contributed but not selected (§5).
+        info = sine_session.hover(0, "INTERIOR")
+        names = {loc.display() for loc in info.unselected}
+        assert names == {"sep", "amp"}
+
+    def test_inactive_caption(self):
+        session = LiveSession("(svg [(rect 'r' 1! 2! 3! 4!)])")
+        info = session.hover(0, "INTERIOR")
+        assert not info.active and info.caption == "Inactive"
+
+
+class TestDragging:
+    def test_paper_drag_box0(self, sine_session):
+        """Dragging box 0 right updates x0 (§2.3)."""
+        result = sine_session.drag_zone(0, "INTERIOR", 45.0, 0.0)
+        bindings = {loc.display(): value
+                    for loc, value in result.bindings.items()}
+        assert bindings == {"x0": 95.0, "y0": 120.0}
+        assert "95" in sine_session.source().splitlines()[0]
+
+    def test_drag_updates_all_related_shapes(self, sine_session):
+        xs_before = [sine_session.canvas[i].simple_num("x").value
+                     for i in range(12)]
+        sine_session.drag_zone(0, "INTERIOR", 45.0, 0.0)
+        xs_after = [sine_session.canvas[i].simple_num("x").value
+                    for i in range(12)]
+        assert all(after == before + 45.0
+                   for before, after in zip(xs_before, xs_after))
+
+    def test_drag_third_box_changes_sep(self, sine_session):
+        """Box 2 is assigned θ3 = ['x' -> sep, 'y' -> y0] by the fair
+        rotation (§4.1); dragging it solves 140 = x0 + 2*sep -> sep=45."""
+        result = sine_session.drag_zone(2, "INTERIOR", 30.0, 0.0)
+        bindings = {loc.display(): value
+                    for loc, value in result.bindings.items()}
+        assert bindings["sep"] == 45.0
+
+    def test_inactive_zone_drag_rejected(self):
+        session = LiveSession("(svg [(rect 'r' 1! 2! 3! 4!)])")
+        with pytest.raises(EditorError):
+            session.start_drag(0, "INTERIOR")
+
+    def test_drag_without_start_rejected(self, sine_session):
+        with pytest.raises(EditorError):
+            sine_session.drag(1.0, 1.0)
+
+    def test_release_without_start_rejected(self, sine_session):
+        with pytest.raises(EditorError):
+            sine_session.release()
+
+    def test_intermediate_drags_live_update(self, sine_session):
+        sine_session.start_drag(0, "INTERIOR")
+        sine_session.drag(10.0, 0.0)
+        assert sine_session.canvas[0].simple_num("x").value == 60.0
+        sine_session.drag(20.0, 0.0)   # cumulative from drag start
+        assert sine_session.canvas[0].simple_num("x").value == 70.0
+        sine_session.release()
+
+    def test_release_reprepares(self, sine_session):
+        sine_session.start_drag(0, "INTERIOR")
+        sine_session.drag(10.0, 0.0)
+        sine_session.release()
+        # New triggers exist and reflect the updated program.
+        result = sine_session.drag_zone(0, "INTERIOR", 5.0, 0.0)
+        bindings = {loc.display(): value
+                    for loc, value in result.bindings.items()}
+        assert bindings["x0"] == 65.0
+
+    def test_freeze_highlight_after_drag(self, sine_session):
+        sine_session.start_drag(0, "INTERIOR")
+        sine_session.drag(10.0, 0.0)
+        highlight = sine_session.freeze_highlight()
+        assert len(highlight["green"]) == 2
+        assert highlight["red"] == ()
+        sine_session.release()
+
+
+class TestUndo:
+    def test_undo_restores_program(self, sine_session):
+        original = sine_session.source()
+        sine_session.drag_zone(0, "INTERIOR", 45.0, 0.0)
+        assert sine_session.source() != original
+        sine_session.undo()
+        assert sine_session.source() == original
+
+    def test_undo_empty_history_rejected(self, sine_session):
+        with pytest.raises(EditorError):
+            sine_session.undo()
+
+    def test_nothing_recorded_for_noop_drag(self, sine_session):
+        sine_session.start_drag(0, "INTERIOR")
+        sine_session.release()
+        assert sine_session.history == []
+
+
+class TestSliders:
+    def test_slider_collected_from_range_annotation(self, sine_session):
+        assert len(sine_session.sliders) == 1
+        slider = next(iter(sine_session.sliders.values()))
+        assert (slider.lo, slider.hi, slider.value) == (3.0, 30.0, 12.0)
+
+    def test_set_slider_changes_shape_count(self, sine_session):
+        loc = next(iter(sine_session.sliders))
+        sine_session.set_slider(loc, 5.0)
+        assert len(sine_session.canvas) == 5
+
+    def test_set_slider_clamps(self, sine_session):
+        loc = next(iter(sine_session.sliders))
+        sine_session.set_slider(loc, 100.0)
+        assert len(sine_session.canvas) == 30
+
+    def test_slider_undo(self, sine_session):
+        loc = next(iter(sine_session.sliders))
+        sine_session.set_slider(loc, 5.0)
+        sine_session.undo()
+        assert len(sine_session.canvas) == 12
+
+    def test_unknown_slider_rejected(self, sine_session):
+        from repro.lang.ast import Loc
+        with pytest.raises(EditorError):
+            sine_session.set_slider(Loc(999999), 1.0)
+
+    def test_frozen_slider_value_not_draggable(self, sine_session):
+        # n is frozen: no zone assignment may change it.
+        n_loc = next(iter(sine_session.sliders))
+        for assignment in sine_session.assignments.chosen.values():
+            assert n_loc not in assignment.location_set
+
+
+class TestExportAndSource:
+    def test_export_svg(self, sine_session):
+        svg = sine_session.export_svg()
+        assert svg.count("<rect") == 12
+
+    def test_export_excludes_hidden(self):
+        session = LiveSession(
+            "(svg [(ghost (rect 'r' 1 2 3 4)) (circle 'c' 5 6 7)])")
+        svg = session.export_svg()
+        assert "<rect" not in svg and "<circle" in svg
+
+    def test_source_roundtrips(self, sine_session):
+        from repro.lang import parse_program
+        reparsed = parse_program(sine_session.source())
+        assert len(reparsed.rho0) == len(sine_session.program.rho0)
+
+
+class TestHeuristicModes:
+    def test_biased_session(self, sine_source):
+        session = LiveSession(sine_source, heuristic="biased")
+        assert session.active_zone_count() > 0
+
+    def test_auto_freeze_mode(self):
+        # auto_freeze freezes all literals: every zone is inactive.
+        session = LiveSession("(svg [(rect 'r' 1 2 3 4)])",
+                              auto_freeze=True)
+        assert session.active_zone_count() == 0
+
+    def test_thaw_in_auto_freeze_mode(self):
+        # Only w is thawed: every Active zone controls w and nothing else.
+        session = LiveSession("(def w 30?) (svg [(rect 'r' 1 2 w 4)])",
+                              auto_freeze=True)
+        used = set()
+        for assignment in session.assignments.chosen.values():
+            used.update(loc.display() for loc in assignment.location_set)
+        assert used == {"w"}
+        assert (0, "RIGHTEDGE") in session.triggers
+        # Zones not involving width stay Inactive.
+        assert (0, "BOTEDGE") not in session.triggers

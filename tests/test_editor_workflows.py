@@ -1,0 +1,134 @@
+"""End-to-end editor workflows combining drags, sliders, undo, drawing
+and re-preparation — the §6 usage patterns as integration tests."""
+
+import pytest
+
+from repro.editor import LiveSession, add_shape
+from repro.examples import example_source
+from repro.lang import parse_program
+
+
+class TestMultiStepEditing:
+    def test_drag_then_slider_then_drag(self, sine_session):
+        session = sine_session
+        session.drag_zone(0, "INTERIOR", 10.0, 0.0)       # x0 -> 60
+        loc = next(iter(session.sliders))
+        session.set_slider(loc, 6.0)                       # n -> 6
+        assert len(session.canvas) == 6
+        session.drag_zone(0, "INTERIOR", -10.0, 0.0)      # x0 -> 50
+        assert "(def [x0 y0 w h sep amp] [50 120 20 90 30 60])" in \
+            session.source()
+
+    def test_undo_stack_unwinds_in_order(self, sine_session):
+        session = sine_session
+        states = [session.source()]
+        session.drag_zone(0, "INTERIOR", 10.0, 0.0)
+        states.append(session.source())
+        session.drag_zone(0, "INTERIOR", 5.0, 0.0)
+        for expected in reversed(states):
+            session.undo()
+            assert session.source() == expected
+
+    def test_consecutive_drags_compose(self, three_boxes_session):
+        session = three_boxes_session
+        session.drag_zone(0, "INTERIOR", 10.0, 0.0)
+        session.drag_zone(0, "INTERIOR", 10.0, 0.0)
+        assert session.canvas[0].simple_num("x").value == 60.0
+
+    def test_resize_then_move_keeps_relationships(self,
+                                                  three_boxes_session):
+        session = three_boxes_session
+        session.drag_zone(0, "RIGHTEDGE", 15.0, 0.0)     # w: 60 -> 75
+        widths = {shape.simple_num("width").value
+                  for shape in session.canvas}
+        assert widths == {75.0}
+        session.drag_zone(0, "INTERIOR", 5.0, 0.0)
+        widths_after = {shape.simple_num("width").value
+                        for shape in session.canvas}
+        assert widths_after == {75.0}
+
+
+class TestDrawingWorkflow:
+    def test_draw_then_live_manipulate(self):
+        program = parse_program(
+            "(def [x0 sep] [40 110]) "
+            "(svg (map (\\i (rect 'lightblue' (+ x0 (mult i sep)) "
+            "30! 60! 120!)) (zeroTo 3!)))")
+        program = add_shape(program, "rect", fill="plum",
+                            x=40, y=200, width=60, height=40)
+        session = LiveSession(program=program)
+        assert len(session.canvas) == 4
+        new_rect = session.canvas[3]
+        session.drag_zone(new_rect.index, "BOTRIGHTCORNER", 20.0, 10.0)
+        resized = session.canvas[3]
+        assert resized.simple_num("width").value == 80.0
+        assert resized.simple_num("height").value == 50.0
+
+    def test_drawn_shape_participates_in_stats(self):
+        from repro.zones import assign_canvas
+        program = parse_program("(svg [(rect 'r' 1! 2! 3! 4!)])")
+        program = add_shape(program, "circle", cx=10, cy=10, r=5)
+        session = LiveSession(program=program)
+        # The frozen rect contributes nothing; the circle's 3 zones with
+        # fresh unfrozen literals are all active.
+        assert session.active_zone_count() == 3
+
+
+class TestFreezeWorkflow:
+    """§6.1 'Dealing with Ambiguities': start unfrozen, then freeze."""
+
+    def test_freezing_redirects_assignments(self):
+        before = LiveSession(
+            "(def [x0 y0 w h] [10 20 30 40]) "
+            "(svg [(rect 'r' x0 y0 w h)])")
+        names_before = {
+            loc.display()
+            for a in before.assignments.chosen.values()
+            for loc in a.location_set}
+        assert names_before == {"x0", "y0", "w", "h"}
+
+        after = LiveSession(
+            "(def [x0 y0 w h] [10! 20! 30 40]) "
+            "(svg [(rect 'r' x0 y0 w h)])")
+        names_after = {
+            loc.display()
+            for a in after.assignments.chosen.values()
+            for loc in a.location_set}
+        assert names_after == {"w", "h"}
+
+    def test_interior_inactive_after_freezing_position(self):
+        session = LiveSession(
+            "(def [x0 y0 w h] [10! 20! 30 40]) "
+            "(svg [(rect 'r' x0 y0 w h)])")
+        assert not session.hover(0, "INTERIOR").active
+
+
+class TestSliderEdgeCases:
+    def test_slider_at_bounds(self, sine_session):
+        loc = next(iter(sine_session.sliders))
+        sine_session.set_slider(loc, 3.0)
+        assert len(sine_session.canvas) == 3
+        sine_session.set_slider(loc, 30.0)
+        assert len(sine_session.canvas) == 30
+
+    def test_slider_state_tracks_program(self, sine_session):
+        loc = next(iter(sine_session.sliders))
+        sine_session.set_slider(loc, 7.0)
+        assert sine_session.sliders[loc].value == 7.0
+        assert sine_session.sliders[loc].fraction == \
+            pytest.approx((7 - 3) / 27)
+
+    def test_user_defined_slider_clamps_during_drag(self):
+        """Dragging a little slider's ball past its end clamps the target
+        value (Figure 7's clamp) while the ball solution tracks the
+        mouse."""
+        session = LiveSession(
+            "(def [n shapes] (numSlider 100! 300! 50! 0! 10! 'n = ' 4)) "
+            "(svg (append shapes [(circle 'red' 200 200 (+ 20! n))]))")
+        balls = [shape for shape in session.canvas.shapes_of_kind("circle")
+                 if shape.hidden
+                 and shape.simple_num("r").value == 10.0]
+        result = session.drag_zone(balls[-1].index, "INTERIOR", 500.0, 0.0)
+        circle = session.canvas.visible_shapes()[0]
+        # target value clamped to the max of 10 -> radius 30.
+        assert circle.simple_num("r").value == 30.0

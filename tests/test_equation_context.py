@@ -1,0 +1,139 @@
+"""Tests for value-trace equations, value contexts, similarity, and the
+faithful/plausible update definitions of §3."""
+
+import pytest
+
+from repro.lang import evaluate, parse_expr, parse_program
+from repro.lang.ast import Loc
+from repro.trace import OpTrace
+from repro.trace.context import (check_update, numeric_leaves, similar)
+from repro.trace.equation import Equation
+
+
+def find_loc(program, name):
+    for loc in program.rho0:
+        if loc.name == name:
+            return loc
+    raise AssertionError(f"no location named {name}")
+
+
+class TestEquation:
+    def test_satisfied(self):
+        a = Loc(1, "a")
+        eq = Equation(7.0, OpTrace("+", (a, a)))
+        assert eq.satisfied({a: 3.5})
+        assert not eq.satisfied({a: 4.0})
+
+    def test_residual(self):
+        a = Loc(1, "a")
+        eq = Equation(10.0, OpTrace("*", (a, a)))
+        assert eq.residual({a: 4.0}) == pytest.approx(6.0)
+
+    def test_unknowns_excludes_frozen(self):
+        a = Loc(1, "a")
+        frozen = Loc(2, "f", frozen=True)
+        eq = Equation(1.0, OpTrace("+", (a, frozen)))
+        assert eq.unknowns() == frozenset({a})
+
+    def test_str_uses_paper_notation(self):
+        a = Loc(1, "x0")
+        assert str(Equation(155.0, a)) == "155.0 = x0"
+
+    def test_satisfied_false_on_domain_error(self):
+        a = Loc(1, "a")
+        eq = Equation(1.0, OpTrace("/", (a, Loc(2, "z"))))
+        assert not eq.satisfied({a: 1.0, Loc(2): 0.0})
+
+
+class TestNumericLeaves:
+    def test_order_is_deterministic(self):
+        value = evaluate(parse_expr("[[1 2] 3]"))
+        leaves = numeric_leaves(value)
+        assert [leaf.value for leaf in leaves] == [1.0, 2.0, 3.0]
+
+    def test_non_numbers_skipped(self):
+        value = evaluate(parse_expr("['a' 1 true [2]]"))
+        assert [leaf.value for leaf in numeric_leaves(value)] == [1.0, 2.0]
+
+
+class TestSimilarity:
+    def test_same_program_similar(self, sine_program):
+        v1 = sine_program.evaluate()
+        v2 = sine_program.evaluate()
+        assert similar(v1, v2)
+
+    def test_value_change_still_similar(self, sine_program):
+        # Changing x0's value keeps traces identical => similar (V' ~ V).
+        x0 = find_loc(sine_program, "x0")
+        v1 = sine_program.evaluate()
+        v2 = sine_program.substitute({x0: 95.0}).evaluate()
+        assert similar(v1, v2)
+
+    def test_structure_change_not_similar(self, sine_program):
+        # Changing n changes the number of boxes => not similar.
+        n = find_loc(sine_program, "n")
+        v1 = sine_program.evaluate()
+        v2 = sine_program.substitute({n: 5.0}).evaluate()
+        assert not similar(v1, v2)
+
+    def test_different_strings_not_similar(self):
+        assert not similar(evaluate(parse_expr("'a'")),
+                           evaluate(parse_expr("'b'")))
+
+
+class TestCheckUpdate:
+    """The faithful/plausible definitions, on the §2.2 worked example."""
+
+    def test_faithful_update(self, sine_program):
+        # Drag box 2 (index 2) to x=155 by changing x0 to 95: every edited
+        # value matches, so the update is faithful.
+        output = sine_program.evaluate()
+        leaves = numeric_leaves(output)
+        edited_index = next(
+            i for i, leaf in enumerate(leaves) if leaf.value == 110.0)
+        x0 = find_loc(sine_program, "x0")
+        report = check_update(sine_program, {x0: 95.0},
+                              {edited_index: 155.0},
+                              original_output=output)
+        assert report.similar
+        assert report.faithful and report.plausible
+
+    def test_wrong_value_not_plausible(self, sine_program):
+        output = sine_program.evaluate()
+        leaves = numeric_leaves(output)
+        edited_index = next(
+            i for i, leaf in enumerate(leaves) if leaf.value == 110.0)
+        x0 = find_loc(sine_program, "x0")
+        report = check_update(sine_program, {x0: 60.0},
+                              {edited_index: 155.0},
+                              original_output=output)
+        assert report.similar
+        assert not report.plausible
+
+    def test_control_flow_change_vacuously_faithful(self, sine_program):
+        # §3: "(c) implies (d)" — when V' is not similar to V, the
+        # implication holds vacuously but the update is not plausible.
+        output = sine_program.evaluate()
+        n = find_loc(sine_program, "n")
+        report = check_update(sine_program, {n: 3.0}, {0: 155.0},
+                              original_output=output)
+        assert not report.similar
+        assert report.faithful
+        assert not report.plausible
+
+    def test_partial_match_is_plausible_not_faithful(self):
+        # The overconstrained square of §4.1: x and y share one location.
+        program = parse_program(
+            "(def xy 100) (svg [(rect 'red' xy xy 50 50)])")
+        output = program.evaluate()
+        leaves = numeric_leaves(output)
+        x_index = 0  # attrs are ordered x, y, w, h
+        y_index = 1
+        xy = find_loc(program, "xy")
+        # User drags by (dx, dy) = (10, 30); applying y's solution last
+        # gives xy=130: y matches, x does not.
+        report = check_update(program, {xy: 130.0},
+                              {x_index: 110.0, y_index: 130.0},
+                              original_output=output)
+        assert report.similar
+        assert report.plausible and not report.faithful

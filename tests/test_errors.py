@@ -1,0 +1,96 @@
+"""Error-path coverage: positions in syntax errors, informative runtime
+and SVG errors, solver failure messages."""
+
+import pytest
+
+from repro.lang import parse_expr, parse_program
+from repro.lang.errors import (LittleRuntimeError, LittleSyntaxError,
+                               MatchFailure, SolverFailure, SvgError)
+from repro.svg import Canvas
+
+
+class TestSyntaxErrorReporting:
+    def test_position_in_message(self):
+        with pytest.raises(LittleSyntaxError) as excinfo:
+            parse_expr("(let x 1\n  (+ x @))")
+        assert "line 2" in str(excinfo.value)
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(LittleSyntaxError):
+            parse_expr("(+ 1 2")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(LittleSyntaxError):
+            parse_expr("1 2")
+
+    def test_keyword_as_pattern_rejected(self):
+        with pytest.raises(LittleSyntaxError) as excinfo:
+            parse_expr("(let let 1 2)")
+        assert "pattern" in str(excinfo.value)
+
+    def test_op_as_pattern_rejected(self):
+        with pytest.raises(LittleSyntaxError):
+            parse_expr("(\\+ 1)")
+
+    def test_def_in_expression_position(self):
+        with pytest.raises(LittleSyntaxError) as excinfo:
+            parse_expr("(let a (def b 1) a)")
+        assert "def" in str(excinfo.value)
+
+
+class TestRuntimeErrorReporting:
+    def test_unbound_variable_named(self):
+        program = parse_program("(svg [missingShape])")
+        with pytest.raises(LittleRuntimeError) as excinfo:
+            program.evaluate()
+        assert "missingShape" in str(excinfo.value)
+
+    def test_match_failure_is_runtime_error(self):
+        assert issubclass(MatchFailure, LittleRuntimeError)
+
+    def test_operator_type_error_mentions_types(self):
+        program = parse_program("(+ 'a' true)")
+        with pytest.raises(LittleRuntimeError) as excinfo:
+            program.evaluate()
+        message = str(excinfo.value)
+        assert "VStr" in message and "VBool" in message
+
+
+class TestSvgErrorReporting:
+    def test_wrong_root_kind(self):
+        program = parse_program("(rect 'r' 1 2 3 4)")
+        with pytest.raises(SvgError) as excinfo:
+            Canvas.from_value(program.evaluate())
+        assert "'svg'" in str(excinfo.value)
+
+    def test_error_includes_path_to_bad_node(self):
+        program = parse_program("(svg [['rect' [] []] ['circle' 'bad' []]])")
+        with pytest.raises(SvgError) as excinfo:
+            Canvas.from_value(program.evaluate())
+        assert "circle" in str(excinfo.value)
+
+    def test_non_list_output(self):
+        program = parse_program("42")
+        with pytest.raises(SvgError):
+            Canvas.from_value(program.evaluate())
+
+
+class TestSolverFailureMessages:
+    def test_missing_location_message(self):
+        from repro.lang.ast import Loc
+        from repro.synthesis import solve_addition_only
+        from repro.trace import OpTrace
+        a, b = Loc(1, "a"), Loc(2, "b")
+        with pytest.raises(SolverFailure) as excinfo:
+            solve_addition_only({a: 1.0, b: 2.0}, Loc(3, "c"), 5.0,
+                                OpTrace("+", (a, b)))
+        assert "c" in str(excinfo.value)
+
+    def test_bounded_function_message(self):
+        from repro.lang.ast import Loc
+        from repro.synthesis import solve_single_occurrence
+        from repro.trace import OpTrace
+        a = Loc(1, "a")
+        with pytest.raises(SolverFailure) as excinfo:
+            solve_single_occurrence({a: 0.0}, a, 5.0, OpTrace("cos", (a,)))
+        assert "[-1, 1]" in str(excinfo.value)

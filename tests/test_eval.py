@@ -1,0 +1,227 @@
+"""Unit tests for the evaluator and trace instrumentation (E-OP-NUM)."""
+
+import math
+
+import pytest
+
+from repro.lang import (VBool, VClosure, VCons, VNil, VNum, VStr, evaluate,
+                        parse_expr, parse_top_level, to_pylist)
+from repro.lang.errors import LittleRuntimeError, MatchFailure
+from repro.trace import OpTrace, format_trace, locs
+
+
+def run(source):
+    return evaluate(parse_expr(source))
+
+
+def run_top(source):
+    return evaluate(parse_top_level(source))
+
+
+class TestBaseValues:
+    def test_number(self):
+        value = run("42")
+        assert isinstance(value, VNum) and value.value == 42.0
+
+    def test_number_trace_is_its_location(self):
+        value = run("42")
+        assert value.trace.ident > 0   # a Loc
+
+    def test_string(self):
+        assert run("'hi'") == VStr("hi")
+
+    def test_bool(self):
+        assert run("true") == VBool(True)
+
+    def test_nil(self):
+        assert run("[]") == VNil()
+
+    def test_list(self):
+        value = run("[1 2]")
+        items = to_pylist(value)
+        assert [item.value for item in items] == [1.0, 2.0]
+
+    def test_lambda_is_closure(self):
+        assert isinstance(run("(\\x x)"), VClosure)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("source,expected", [
+        ("(+ 1 2)", 3.0),
+        ("(- 10 4)", 6.0),
+        ("(* 3 4)", 12.0),
+        ("(/ 10 4)", 2.5),
+        ("(mod 7 3)", 1.0),
+        ("(pow 2 10)", 1024.0),
+        ("(floor 3.7)", 3.0),
+        ("(ceiling 3.2)", 4.0),
+        ("(round 3.5)", 4.0),
+        ("(round 3.4)", 3.0),
+        ("(abs -5)", 5.0),
+        ("(neg 5)", -5.0),
+        ("(sqrt 16)", 4.0),
+    ])
+    def test_numeric_ops(self, source, expected):
+        assert run(source).value == expected
+
+    def test_pi(self):
+        assert run("(pi)").value == pytest.approx(math.pi)
+
+    def test_trig(self):
+        assert run("(sin 0)").value == pytest.approx(0.0)
+        assert run("(cos 0)").value == pytest.approx(1.0)
+        assert run("(arccos 1)").value == pytest.approx(0.0)
+        assert run("(arcsin 1)").value == pytest.approx(math.pi / 2)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(LittleRuntimeError):
+            run("(/ 1 0)")
+
+    def test_arccos_domain_error(self):
+        with pytest.raises(LittleRuntimeError):
+            run("(arccos 2)")
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(LittleRuntimeError):
+            run("(sqrt -1)")
+
+
+class TestComparisonsAndBooleans:
+    @pytest.mark.parametrize("source,expected", [
+        ("(< 1 2)", True),
+        ("(< 2 1)", False),
+        ("(> 2 1)", True),
+        ("(<= 2 2)", True),
+        ("(>= 1 2)", False),
+        ("(= 3 3)", True),
+        ("(= 3 4)", False),
+        ("(not true)", False),
+        ("(not false)", True),
+        ("(= 'a' 'a')", True),
+        ("(= 'a' 'b')", False),
+        ("(= true true)", True),
+    ])
+    def test_comparison(self, source, expected):
+        assert run(source) == VBool(expected)
+
+    def test_comparisons_are_traceless(self):
+        assert not hasattr(run("(< 1 2)"), "trace")
+
+
+class TestStrings:
+    def test_concat(self):
+        assert run("(+ 'a' 'b')") == VStr("ab")
+
+    def test_to_string_integral(self):
+        assert run("(toString 42)") == VStr("42")
+
+    def test_to_string_float(self):
+        assert run("(toString 2.5)") == VStr("2.5")
+
+    def test_to_string_bool(self):
+        assert run("(toString true)") == VStr("true")
+
+    def test_type_error_reported(self):
+        with pytest.raises(LittleRuntimeError):
+            run("(+ 'a' 1)")
+
+
+class TestBindingForms:
+    def test_let(self):
+        assert run("(let x 5 (+ x x))").value == 10.0
+
+    def test_let_shadowing(self):
+        assert run("(let x 1 (let x 2 x))").value == 2.0
+
+    def test_let_list_pattern(self):
+        assert run("(let [a b] [3 4] (+ a b))").value == 7.0
+
+    def test_let_nested_pattern(self):
+        assert run("(let [[a b] c] [[1 2] 3] (+ a (+ b c)))").value == 6.0
+
+    def test_let_pattern_mismatch_raises(self):
+        with pytest.raises(MatchFailure):
+            run("(let [a b] [1] a)")
+
+    def test_letrec_recursion(self):
+        source = ("(letrec fact (\\n (if (< n 1) 1 (* n (fact (- n 1)))))"
+                  " (fact 5))")
+        assert run(source).value == 120.0
+
+    def test_lambda_application(self):
+        assert run("((\\x (* x x)) 6)").value == 36.0
+
+    def test_multi_arg_application(self):
+        assert run("((\\(a b) (- a b)) 10 3)").value == 7.0
+
+    def test_closure_captures_environment(self):
+        assert run("(let a 10 ((\\x (+ x a)) 5))").value == 15.0
+
+    def test_apply_non_function_raises(self):
+        with pytest.raises(LittleRuntimeError):
+            run("(1 2)")
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(LittleRuntimeError):
+            run("nope")
+
+
+class TestCase:
+    def test_first_matching_branch(self):
+        assert run("(case 2 (1 'one') (2 'two') (n 'other'))") == VStr("two")
+
+    def test_catch_all(self):
+        assert run("(case 9 (1 'one') (n 'other'))") == VStr("other")
+
+    def test_list_destructuring(self):
+        assert run("(case [1 2] ([] 0) ([x|rest] x))").value == 1.0
+
+    def test_no_match_raises(self):
+        with pytest.raises(MatchFailure):
+            run("(case 3 (1 'one') (2 'two'))")
+
+    def test_if_sugar(self):
+        assert run("(if (< 1 2) 'yes' 'no')") == VStr("yes")
+
+
+class TestTraceConstruction:
+    def test_op_builds_expression_trace(self):
+        value = run("(+ 1 2)")
+        assert isinstance(value.trace, OpTrace)
+        assert value.trace.op == "+"
+        assert len(value.trace.args) == 2
+
+    def test_nested_trace_structure(self):
+        value = run_top("(def [a b] [2 3]) (* (+ a 1) b)")
+        assert value.trace.op == "*"
+        inner = value.trace.args[0]
+        assert inner.op == "+"
+        assert inner.args[0].display() == "a"
+        assert value.trace.args[1].display() == "b"
+
+    def test_trace_locations_named_canonically(self):
+        value = run_top("(def [x0 sep] [50 30]) (+ x0 sep)")
+        names = sorted(loc.display() for loc in locs(value.trace))
+        assert names == ["sep", "x0"]
+
+    def test_frozen_locations_excluded_from_locs(self):
+        value = run_top("(def a 5) (+ a 3!)")
+        assert sorted(loc.display() for loc in locs(value.trace)) == ["a"]
+
+    def test_control_flow_not_recorded(self):
+        # The branch condition leaves no mark on the result trace
+        # (dataflow-only traces, §2.1).
+        value = run_top("(def a 5) (if (< a 10) (+ a 1!) (+ a 2!))")
+        assert value.trace.op == "+"
+        assert len(locs(value.trace)) == 1
+
+    def test_pi_trace(self):
+        value = run("(pi)")
+        assert value.trace == OpTrace("pi", ())
+
+
+class TestTailCalls:
+    def test_deep_tail_recursion_via_let(self):
+        # A long right-nested chain of lets should not exhaust the stack.
+        source = "(letrec loop (\\n (if (< n 1) 0 (loop (- n 1)))) (loop 2000))"
+        assert run(source).value == 0.0

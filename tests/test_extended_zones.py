@@ -1,0 +1,102 @@
+"""Tests for implementation-appendix zone features: ZONES suppression,
+built-in ROTATION zones, and FILL color-number zones."""
+
+import pytest
+
+from repro.editor import LiveSession
+from repro.lang import parse_program
+from repro.svg import Canvas
+from repro.zones import zones_for_shape
+
+
+def canvas_of(source):
+    return Canvas.from_value(parse_program(source).evaluate())
+
+
+class TestZonesSuppression:
+    def test_zones_none_disables_shape(self):
+        canvas = canvas_of(
+            "(svg [(addAttr (rect 'r' 1 2 3 4) ['ZONES' 'none'])])")
+        assert zones_for_shape(canvas[0]) == []
+
+    def test_other_zones_values_keep_zones(self):
+        canvas = canvas_of(
+            "(svg [(addAttr (rect 'r' 1 2 3 4) ['ZONES' 'basic'])])")
+        assert len(zones_for_shape(canvas[0])) == 9
+
+    def test_suppressed_shape_not_draggable(self):
+        session = LiveSession(
+            "(def x 10) "
+            "(svg [(addAttr (rect 'r' x 2 3 4) ['ZONES' 'none'])])")
+        assert session.active_zone_count() == 0
+
+
+class TestRotationZone:
+    SOURCE = """
+    (def angle 30)
+    (svg [(rotateAround angle 200! 200! (rect 'salmon' 160 60 80 28))])
+    """
+
+    def test_rotation_zone_exists(self):
+        canvas = canvas_of(self.SOURCE)
+        names = [zone.name for zone in zones_for_shape(canvas[0])]
+        assert "ROTATION" in names
+
+    def test_rotation_zone_controls_angle(self):
+        session = LiveSession(self.SOURCE)
+        info = session.hover(0, "ROTATION")
+        assert info.active
+        assert "angle" in info.caption
+
+    def test_drag_rotation_updates_angle_literal(self):
+        session = LiveSession(self.SOURCE)
+        result = session.drag_zone(0, "ROTATION", 15.0, 0.0)
+        bindings = {loc.display(): value
+                    for loc, value in result.bindings.items()}
+        assert bindings == {"angle": 45.0}
+        assert "(def angle 45)" in session.source()
+
+    def test_no_transform_no_rotation_zone(self):
+        canvas = canvas_of("(svg [(rect 'r' 1 2 3 4)])")
+        names = [zone.name for zone in zones_for_shape(canvas[0])]
+        assert "ROTATION" not in names
+
+    def test_frozen_angle_rotation_inactive(self):
+        session = LiveSession(
+            "(svg [(rotateAround 30! 200! 200! "
+            "(rect 'salmon' 160 60 80 28))])")
+        assert session.hover(0, "ROTATION").active is False
+
+
+class TestFillColorZone:
+    SOURCE = "(def color 120) (svg [(rect color 10 20 30 40)])"
+
+    def test_fill_zone_for_color_numbers(self):
+        canvas = canvas_of(self.SOURCE)
+        names = [zone.name for zone in zones_for_shape(canvas[0])]
+        assert "FILL" in names
+
+    def test_drag_fill_changes_color_number(self):
+        session = LiveSession(self.SOURCE)
+        result = session.drag_zone(0, "FILL", 60.0, 0.0)
+        bindings = {loc.display(): value
+                    for loc, value in result.bindings.items()}
+        assert bindings == {"color": 180.0}
+        assert 'hsl(180' in session.export_svg()
+
+    def test_string_fill_has_no_fill_zone(self):
+        canvas = canvas_of("(svg [(rect 'red' 10 20 30 40)])")
+        names = [zone.name for zone in zones_for_shape(canvas[0])]
+        assert "FILL" not in names
+
+    def test_rgba_fill_has_no_fill_zone(self):
+        canvas = canvas_of("(svg [(rect [255 0 0 1] 10 20 30 40)])")
+        names = [zone.name for zone in zones_for_shape(canvas[0])]
+        assert "FILL" not in names
+
+
+class TestRotationRendering:
+    def test_rotated_rect_renders_transform(self):
+        session = LiveSession(
+            "(svg [(rotateAround 45 100! 100! (rect 'r' 60 60 80 20))])")
+        assert 'transform="rotate(45,100,100)"' in session.export_svg()

@@ -1,0 +1,98 @@
+"""The §6.2 ferris wheel case study as executable assertions."""
+
+import pytest
+
+from repro.editor import LiveSession
+from repro.examples import example_source
+
+
+@pytest.fixture
+def ferris():
+    return LiveSession(example_source("ferris_wheel"))
+
+
+def loc_names(assignment):
+    return {loc.display() for loc in assignment.location_set}
+
+
+class TestFerrisAssignments:
+    def test_rim_interior_controls_center(self, ferris):
+        """(rim, INTERIOR) -> ['cx' -> cx, 'cy' -> cy]: 'the only choices
+        that could have been made' (§6.2)."""
+        rim = ferris.canvas.shapes_of_kind("circle")[0]
+        assignment = ferris.assignments.lookup(rim.index, "INTERIOR")
+        assert loc_names(assignment) == {"cx", "cy"}
+        analysis = ferris.assignments.analysis(rim.index, "INTERIOR")
+        assert analysis.candidate_count == 1   # unambiguous
+
+    def test_rim_edge_controls_spoke_len(self, ferris):
+        rim = ferris.canvas.shapes_of_kind("circle")[0]
+        assignment = ferris.assignments.lookup(rim.index, "RIGHTEDGE")
+        assert loc_names(assignment) == {"spokeLen"}
+
+    def test_car_rightedge_controls_wcar(self, ferris):
+        """(cars_i, RIGHTEDGE) -> ['width' -> wCar] for every car."""
+        cars = ferris.canvas.shapes_of_kind("rect")
+        assert len(cars) == 5
+        for car in cars:
+            assignment = ferris.assignments.lookup(car.index, "RIGHTEDGE")
+            assert loc_names(assignment) == {"wCar"}
+
+    def test_num_spokes_and_rot_angle_frozen(self, ferris):
+        """Phase 2 outcome: numSpokes and rotAngle are frozen + sliders,
+        so no zone assignment can change them."""
+        for assignment in ferris.assignments.chosen.values():
+            names = loc_names(assignment)
+            assert "numSpokes" not in names
+            assert "rotAngle" not in names
+
+    def test_sliders_for_frozen_params(self, ferris):
+        captions = [slider.caption() for slider in ferris.sliders.values()]
+        assert any("numSpokes" in caption for caption in captions)
+        assert any("rotAngle" in caption for caption in captions)
+
+
+class TestFerrisManipulation:
+    def test_drag_rim_moves_everything(self, ferris):
+        rim = ferris.canvas.shapes_of_kind("circle")[0]
+        car_x_before = ferris.canvas.shapes_of_kind(
+            "rect")[0].simple_num("x").value
+        ferris.drag_zone(rim.index, "INTERIOR", 30.0, -20.0)
+        car_x_after = ferris.canvas.shapes_of_kind(
+            "rect")[0].simple_num("x").value
+        assert car_x_after == pytest.approx(car_x_before + 30.0)
+
+    def test_drag_car_edge_resizes_all_cars(self, ferris):
+        cars = ferris.canvas.shapes_of_kind("rect")
+        widths_before = [car.simple_num("width").value for car in cars]
+        ferris.drag_zone(cars[0].index, "RIGHTEDGE", 10.0, 0.0)
+        widths_after = [car.simple_num("width").value
+                        for car in ferris.canvas.shapes_of_kind("rect")]
+        assert all(after == before + 10.0
+                   for before, after in zip(widths_before, widths_after))
+
+    def test_num_spokes_slider_changes_car_count(self, ferris):
+        num_spokes_loc = next(
+            loc for loc in ferris.sliders
+            if loc.display() == "numSpokes")
+        ferris.set_slider(num_spokes_loc, 8.0)
+        assert len(ferris.canvas.shapes_of_kind("rect")) == 8
+
+    def test_rot_angle_slider_rotates_cars(self, ferris):
+        rot_loc = next(loc for loc in ferris.sliders
+                       if loc.display() == "rotAngle")
+        x_before = ferris.canvas.shapes_of_kind(
+            "rect")[0].simple_num("x").value
+        ferris.set_slider(rot_loc, 0.7)
+        x_after = ferris.canvas.shapes_of_kind(
+            "rect")[0].simple_num("x").value
+        assert x_after != x_before
+        # Shape count is preserved under rotation.
+        assert len(ferris.canvas.shapes_of_kind("rect")) == 5
+
+    def test_undo_restores_case_study_state(self, ferris):
+        source = ferris.source()
+        rim = ferris.canvas.shapes_of_kind("circle")[0]
+        ferris.drag_zone(rim.index, "INTERIOR", 30.0, -20.0)
+        ferris.undo()
+        assert ferris.source() == source

@@ -1,0 +1,147 @@
+"""Tests for the SVG → little importer (Appendix D future work)."""
+
+import pytest
+
+from repro.editor import LiveSession
+from repro.examples import example_names, load_example
+from repro.lang import parse_program
+from repro.lang.errors import SvgError
+from repro.svg import Canvas, render_canvas
+from repro.svg.importer import (import_svg_file, parse_path_data,
+                                parse_points, parse_transform,
+                                svg_to_little)
+
+ELM_LOGO_SVG = """
+<svg xmlns="http://www.w3.org/2000/svg" width="324" height="324">
+  <polygon fill="#F0AD00" points="161,152 231,82 91,82"/>
+  <rect fill="#7FD13B" x="192" y="107" width="107" height="108"/>
+  <circle fill="#60B5CC" cx="50" cy="50" r="20"/>
+  <line stroke="black" stroke-width="2" x1="0" y1="0" x2="10" y2="10"/>
+  <path fill="none" stroke="red" d="M 10 20 C 30 40 50 60 70 80 Z"/>
+</svg>
+"""
+
+
+class TestParsers:
+    def test_parse_points(self):
+        assert parse_points("1,2 3.5,4 5,6") == [[1, 2], [3.5, 4], [5, 6]]
+
+    def test_parse_points_whitespace_separated(self):
+        assert parse_points("1 2 3 4") == [[1, 2], [3, 4]]
+
+    def test_parse_points_odd_count_rejected(self):
+        with pytest.raises(SvgError):
+            parse_points("1 2 3")
+
+    def test_parse_path_data(self):
+        assert parse_path_data("M 10 20 L 30 40 Z") == \
+            ["M", 10.0, 20.0, "L", 30.0, 40.0, "Z"]
+
+    def test_parse_path_data_compact(self):
+        assert parse_path_data("M10,20L30,40") == \
+            ["M", 10.0, 20.0, "L", 30.0, 40.0]
+
+    def test_parse_path_data_negative_and_exponent(self):
+        assert parse_path_data("M -1.5 2e2") == ["M", -1.5, 200.0]
+
+    def test_parse_path_must_start_with_command(self):
+        with pytest.raises(SvgError):
+            parse_path_data("10 20 L 1 2")
+
+    def test_parse_transform(self):
+        assert parse_transform("rotate(45 10 10) scale(2)") == \
+            [["rotate", 45.0, 10.0, 10.0], ["scale", 2.0]]
+
+
+class TestImport:
+    def test_import_produces_valid_little(self):
+        source = svg_to_little(ELM_LOGO_SVG)
+        program = parse_program(source)
+        canvas = Canvas.from_value(program.evaluate())
+        assert [shape.kind for shape in canvas] == [
+            "polygon", "rect", "circle", "line", "path"]
+
+    def test_imported_values_preserved(self):
+        source = svg_to_little(ELM_LOGO_SVG)
+        canvas = Canvas.from_value(parse_program(source).evaluate())
+        rect = canvas.shapes_of_kind("rect")[0]
+        assert rect.simple_num("x").value == 192.0
+        circle = canvas.shapes_of_kind("circle")[0]
+        assert circle.simple_num("r").value == 20.0
+
+    def test_imported_points_preserved(self):
+        source = svg_to_little(ELM_LOGO_SVG)
+        canvas = Canvas.from_value(parse_program(source).evaluate())
+        polygon = canvas.shapes_of_kind("polygon")[0]
+        points = polygon.points()
+        assert points[0][0].value == 161.0
+
+    def test_imported_shapes_are_manipulable(self):
+        """The Elm-logo property: every piece is draggable, with its own
+        independent literal locations."""
+        session = LiveSession(svg_to_little(ELM_LOGO_SVG))
+        rect = session.canvas.shapes_of_kind("rect")[0]
+        result = session.drag_zone(rect.index, "INTERIOR", 8.0, -2.0)
+        assert result.all_solved
+        assert session.canvas.shapes_of_kind(
+            "rect")[0].simple_num("x").value == 200.0
+        # ...but unrelated shapes are untouched (no shared structure).
+        circle = session.canvas.shapes_of_kind("circle")[0]
+        assert circle.simple_num("cx").value == 50.0
+
+    def test_non_svg_root_rejected(self):
+        with pytest.raises(SvgError):
+            svg_to_little("<html></html>")
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(SvgError):
+            svg_to_little("<svg><rect</svg>")
+
+    def test_unsupported_elements_skipped(self):
+        source = svg_to_little(
+            '<svg><defs><marker/></defs><rect x="1" y="2" width="3" '
+            'height="4"/></svg>')
+        canvas = Canvas.from_value(parse_program(source).evaluate())
+        assert [shape.kind for shape in canvas] == ["rect"]
+
+    def test_nested_groups_flattened(self):
+        source = svg_to_little(
+            '<svg><g><g><circle cx="1" cy="2" r="3"/></g></g></svg>')
+        canvas = Canvas.from_value(parse_program(source).evaluate())
+        assert canvas[0].kind == "circle"
+
+
+class TestExportImportRoundTrip:
+    @pytest.mark.parametrize("name", [
+        "sketch_n_sketch_logo", "elm_logo", "rings", "triangles",
+        "botanic_garden_logo",
+    ])
+    def test_roundtrip_preserves_shape_structure(self, name):
+        program = load_example(name)
+        canvas = Canvas.from_value(program.evaluate())
+        exported = render_canvas(canvas.root, include_hidden=False)
+        reimported = parse_program(svg_to_little(exported))
+        new_canvas = Canvas.from_value(reimported.evaluate())
+        visible = canvas.visible_shapes()
+        assert [shape.kind for shape in new_canvas] == \
+            [shape.kind for shape in visible]
+
+    def test_roundtrip_preserves_geometry(self):
+        program = load_example("three_boxes")
+        canvas = Canvas.from_value(program.evaluate())
+        exported = render_canvas(canvas.root)
+        new_canvas = Canvas.from_value(
+            parse_program(svg_to_little(exported)).evaluate())
+        for original, imported in zip(canvas, new_canvas):
+            assert original.simple_num("x").value == \
+                imported.simple_num("x").value
+            assert original.simple_num("width").value == \
+                imported.simple_num("width").value
+
+
+class TestImportFile(object):
+    def test_import_svg_file(self, tmp_path):
+        path = tmp_path / "logo.svg"
+        path.write_text(ELM_LOGO_SVG, encoding="utf-8")
+        source = import_svg_file(path)
+        assert parse_program(source).evaluate() is not None

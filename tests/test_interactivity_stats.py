@@ -1,0 +1,49 @@
+"""Unit tests for the interactivity-success harness."""
+
+import pytest
+
+from repro.bench import interactivity_stats
+from repro.bench.corpus import prepare_corpus, prepare_example
+
+
+@pytest.fixture(scope="module")
+def totals():
+    return interactivity_stats(
+        prepare_corpus(["three_boxes", "thaw_freeze", "ferris_wheel"]))
+
+
+def test_zone_accounting(totals):
+    assert totals.active == totals.zones - totals.inactive
+    for delta in (1.0, 100.0):
+        assert (totals.full[delta] + totals.partial[delta]
+                + totals.none[delta]) == totals.active
+
+
+def test_three_boxes_all_succeed():
+    totals = interactivity_stats(
+        {"three_boxes": prepare_example("three_boxes")})
+    # Every attribute trace is x0 + additions or a bare literal: all 27
+    # zones are active and solve at both offsets.
+    assert totals.inactive == 0
+    assert totals.full[1.0] == 27
+    assert totals.full[100.0] == 27
+
+
+def test_frozen_shapes_count_inactive():
+    totals = interactivity_stats(
+        {"thaw_freeze": prepare_example("thaw_freeze")})
+    assert totals.inactive > 0
+
+
+def test_ferris_trig_zones_degrade_at_large_offsets():
+    """ferris_task_before has an *unfrozen* rotAngle inside cos/sin: d=100
+    pushes those bounded traces out of range, so strictly fewer zones
+    fully succeed than at d=1 — the §5.2.2 rotation-angle discussion."""
+    totals = interactivity_stats(
+        {"ferris_task_before": prepare_example("ferris_task_before")})
+    assert totals.full[100.0] < totals.full[1.0]
+
+
+def test_success_rate_bounds(totals):
+    assert 0.0 <= totals.success_rate(1.0) <= 1.0
+    assert 0.0 <= totals.success_rate(100.0) <= 1.0

@@ -1,0 +1,131 @@
+"""Language integration tests: nontrivial little programs exercising the
+evaluator, Prelude and traces together."""
+
+import pytest
+
+from repro.lang import (VStr, parse_program, to_pylist, evaluate,
+                        parse_top_level)
+from repro.trace import locs
+
+
+def run(source):
+    return parse_program(source).evaluate()
+
+
+def nums(value):
+    return [item.value for item in to_pylist(value)]
+
+
+class TestAlgorithmsInLittle:
+    def test_insertion_sort(self):
+        source = """
+        (defrec insert (\\(x xs)
+          (case xs
+            ([] [x])
+            ([y|rest] (if (< x y) [x y|rest] [y|(insert x rest)])))))
+        (def sort (\\xs (foldl insert [] xs)))
+        (sort [5 3 8 1 9 2])
+        """
+        assert nums(run(source)) == [1, 2, 3, 5, 8, 9]
+
+    def test_fibonacci(self):
+        source = """
+        (defrec fib (\\n
+          (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))
+        (map fib (zeroTo 10))
+        """
+        assert nums(run(source)) == [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+
+    def test_gcd(self):
+        source = """
+        (defrec gcd (\\(a b)
+          (if (= b 0) a (gcd b (mod a b)))))
+        (gcd 1071 462)
+        """
+        assert run(source).value == 21
+
+    def test_higher_order_composition(self):
+        source = """
+        (def compose (\\(f g) (\\x (f (g x)))))
+        (def inc (\\x (+ x 1)))
+        (def double (\\x (* x 2)))
+        ((compose inc double) 5)
+        """
+        assert run(source).value == 11
+
+    def test_string_building(self):
+        source = """
+        (def commaSep (\\items
+          (case items
+            ([] '')
+            ([x|rest] (foldl (\\(s acc) (+ acc (+ ', ' s))) x rest)))))
+        (commaSep ['a' 'b' 'c'])
+        """
+        assert run(source) == VStr("a, b, c")
+
+    def test_mutual_recursion_via_parameter(self):
+        # little has no letrec groups; mutual recursion threads the other
+        # function as an argument.
+        source = """
+        (defrec isEven (\\n (if (= n 0) true (isOddH isEven (- n 1)))))
+        (def isOddH (\\(even n) (if (= n 0) false (even (- n 1)))))
+        (isEven 10)
+        """
+        # isOddH must be defined before isEven textually; reorder:
+        source = """
+        (def isOddH (\\(even n) (if (= n 0) false (even (- n 1)))))
+        (defrec isEven (\\n (if (= n 0) true (isOddH isEven (- n 1)))))
+        (isEven 10)
+        """
+        assert run(source).value is True
+
+
+class TestTraceThreading:
+    def test_traces_flow_through_prelude_combinators(self):
+        source = """
+        (def base 10)
+        (sum (map (\\i (+ base i)) (zeroTo 3!)))
+        """
+        value = run(source)
+        assert value.value == 33
+        assert any(loc.display() == "base" for loc in locs(value.trace))
+
+    def test_folded_trace_mentions_every_contribution(self):
+        source = "(def [a b c] [1 2 3]) (sum [a b c])"
+        value = run(source)
+        names = {loc.display() for loc in locs(value.trace)}
+        assert names == {"a", "b", "c"}
+
+    def test_shadowed_variable_traces(self):
+        source = "(def x 1) (let x 2 (+ x x))"
+        value = run(source)
+        # The inner literal's location (canonically also named x) is the
+        # only one in the trace.
+        assert value.value == 4
+        assert len(locs(value.trace)) == 1
+
+    def test_deep_recursion_trace_size_linear(self):
+        from repro.trace import trace_size
+        source = "(def step 5) (sum (repeat 20! step))"
+        value = run(source)
+        assert value.value == 100
+        assert trace_size(value.trace) <= 2 * 20 + 3
+
+
+class TestScoping:
+    def test_lexical_capture_not_dynamic(self):
+        source = """
+        (def make (\\n (\\x (+ x n))))
+        (def addTen (make 10))
+        (let n 999 (addTen 5))
+        """
+        assert run(source).value == 15
+
+    def test_prelude_shadowable(self):
+        source = "(def map 42) map"
+        assert run(source).value == 42
+
+    def test_curried_prelude_partial_application(self):
+        source = "(def addPrefix (map (\\s (+ 'x' s)))) (addPrefix ['a' 'b'])"
+        assert [item.value for item in to_pylist(run(source))] == \
+            ["xa", "xb"]

@@ -1,0 +1,124 @@
+"""The paper's §2 worked example, end to end: traces, the four candidate
+updates of Figure 1D, and their visual effects."""
+
+import pytest
+
+from repro.lang import parse_program, to_pylist
+from repro.svg import Canvas
+from repro.trace.context import check_update, numeric_leaves
+from repro.trace.equation import Equation
+from repro.synthesis import synthesize_plausible
+
+
+@pytest.fixture(scope="module")
+def unfrozen_program(request):
+    source = """
+    (def [x0 y0 w h sep amp] [50 120 20 90 30 60])
+    (def n 12!{3-30})
+    (def boxi (\\i
+      (let xi (+ x0 (* i sep))
+      (let yi (- y0 (* amp (sin (* i (/ twoPi n)))))
+      (rect 'lightblue' xi yi w h)))))
+    (svg (map boxi (zeroTo n)))
+    """
+    return parse_program(source, prelude_frozen=False)
+
+
+@pytest.fixture(scope="module")
+def third_box_x(unfrozen_program):
+    canvas = Canvas.from_value(unfrozen_program.evaluate())
+    return canvas[2].simple_num("x")
+
+
+@pytest.fixture(scope="module")
+def candidates(unfrozen_program, third_box_x):
+    equation = Equation(155.0, third_box_x.trace)
+    return synthesize_plausible(unfrozen_program.rho0, [equation],
+                                allow_linear=True)
+
+
+class TestFigure1D:
+    def test_four_candidates(self, candidates):
+        assert len(candidates) == 4
+
+    def test_candidate_values(self, candidates):
+        by_name = {cand.choice[0].display(): cand.values[0]
+                   for cand in candidates}
+        named = {name: value for name, value in by_name.items()
+                 if name in ("x0", "sep")}
+        assert named["x0"] == pytest.approx(95.0)      # ρ1
+        assert named["sep"] == pytest.approx(52.5)     # ρ2
+        prelude_values = sorted(value for name, value in by_name.items()
+                                if name not in ("x0", "sep"))
+        assert prelude_values == [pytest.approx(1.5),   # ρ3: l0
+                                  pytest.approx(1.75)]  # ρ4: l1
+
+    def test_rho1_translates_all_boxes(self, unfrozen_program, candidates):
+        rho1 = next(c for c in candidates if c.choice[0].display() == "x0")
+        new_program = unfrozen_program.substitute(
+            dict(rho1.substitution.changes_from(unfrozen_program.rho0)))
+        canvas = Canvas.from_value(new_program.evaluate())
+        assert len(canvas) == 12
+        assert canvas[0].simple_num("x").value == 95.0
+        assert canvas[2].simple_num("x").value == 155.0
+
+    def test_rho2_changes_spacing(self, unfrozen_program, candidates):
+        rho2 = next(c for c in candidates if c.choice[0].display() == "sep")
+        new_program = unfrozen_program.substitute(
+            dict(rho2.substitution.changes_from(unfrozen_program.rho0)))
+        canvas = Canvas.from_value(new_program.evaluate())
+        assert canvas[0].simple_num("x").value == 50.0   # unchanged
+        assert canvas[2].simple_num("x").value == 155.0
+
+    def test_prelude_candidates_change_box_count(self, unfrozen_program,
+                                                 candidates):
+        """ρ3/ρ4 change the zeroTo constants, altering the number of boxes
+        — exactly why the user 'is unlikely to want' them (§2.2)."""
+        for candidate in candidates:
+            if candidate.choice[0].display() in ("x0", "sep"):
+                continue
+            new_program = unfrozen_program.substitute(
+                dict(candidate.substitution.changes_from(
+                    unfrozen_program.rho0)))
+            canvas = Canvas.from_value(new_program.evaluate())
+            assert len(canvas) != 12
+
+    def test_frozen_prelude_excludes_rho3_rho4(self, sine_program):
+        canvas = Canvas.from_value(sine_program.evaluate())
+        x3 = canvas[2].simple_num("x")
+        equation = Equation(155.0, x3.trace)
+        results = synthesize_plausible(sine_program.rho0, [equation],
+                                       allow_linear=True)
+        names = {cand.choice[0].display() for cand in results}
+        assert names == {"x0", "sep"}
+
+
+class TestFaithfulnessOfCandidates:
+    def test_rho1_and_rho2_are_faithful(self, unfrozen_program, candidates):
+        output = unfrozen_program.evaluate()
+        leaves = numeric_leaves(output)
+        edited = next(i for i, leaf in enumerate(leaves)
+                      if leaf.value == 110.0)
+        for name in ("x0", "sep"):
+            candidate = next(c for c in candidates
+                             if c.choice[0].display() == name)
+            rho = dict(candidate.substitution.changes_from(
+                unfrozen_program.rho0))
+            report = check_update(unfrozen_program, rho, {edited: 155.0},
+                                  original_output=output)
+            assert report.faithful, name
+
+    def test_rho3_rho4_not_plausible(self, unfrozen_program, candidates):
+        """Changing the box count breaks similarity: not plausible (§3)."""
+        output = unfrozen_program.evaluate()
+        leaves = numeric_leaves(output)
+        edited = next(i for i, leaf in enumerate(leaves)
+                      if leaf.value == 110.0)
+        for candidate in candidates:
+            if candidate.choice[0].display() in ("x0", "sep"):
+                continue
+            rho = dict(candidate.substitution.changes_from(
+                unfrozen_program.rho0))
+            report = check_update(unfrozen_program, rho, {edited: 155.0},
+                                  original_output=output)
+            assert not report.plausible

@@ -1,0 +1,74 @@
+"""Corpus-wide pipeline invariants: for every example, the zone →
+analysis → assignment → trigger chain is internally consistent."""
+
+import pytest
+
+from repro.bench.corpus import prepare_example
+from repro.examples import example_names
+from repro.trace.trace import locs
+from repro.zones import compute_triggers, zones_for_canvas
+
+ALL_NAMES = example_names()
+
+
+@pytest.fixture(scope="module")
+def prepared_cache():
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = prepare_example(name)
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_analyses_cover_every_zone(name, prepared_cache):
+    example = prepared_cache(name)
+    zone_keys = {(zone.shape_index, zone.name)
+                 for zone in zones_for_canvas(example.canvas)}
+    analysis_keys = {(a.zone.shape_index, a.zone.name)
+                     for a in example.assignments.analyses}
+    assert zone_keys == analysis_keys
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_chosen_assignments_respect_locsets(name, prepared_cache):
+    """Each chosen location must be a candidate for its feature, and must
+    be unfrozen."""
+    example = prepared_cache(name)
+    for assignment in example.assignments.chosen.values():
+        analysis = example.assignments.analysis(
+            assignment.zone.shape_index, assignment.zone.name)
+        for loc, locset in zip(assignment.theta, analysis.locsets):
+            if loc is None:
+                assert locset == ()
+            else:
+                assert loc in locset
+                assert not loc.frozen
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_triggers_only_bind_assigned_locations(name, prepared_cache):
+    """Firing any trigger may only change locations the hover caption
+    advertised (the yellow-highlight contract of §5)."""
+    example = prepared_cache(name)
+    triggers = compute_triggers(example.canvas, example.assignments,
+                                example.program.rho0)
+    for key, trigger in triggers.items():
+        assignment = example.assignments.chosen[key]
+        result = trigger(3.0, 7.0)
+        assert set(result.bindings) <= set(assignment.location_set)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_locsets_derive_from_attribute_traces(name, prepared_cache):
+    """Every per-feature locset equals Locs of the attribute's trace."""
+    example = prepared_cache(name)
+    for analysis in example.assignments.analyses:
+        shape = example.canvas[analysis.zone.shape_index]
+        for feature, locset in zip(analysis.zone.features,
+                                   analysis.locsets):
+            number = shape.get_num(feature.ref)
+            assert frozenset(locset) == locs(number.trace)

@@ -1,0 +1,274 @@
+"""Tests for the little Prelude (list combinators, numeric helpers, SVG
+constructors, widgets)."""
+
+import math
+
+import pytest
+
+from repro.lang import (VBool, VNum, VStr, parse_program, to_pylist,
+                        value_equal)
+from repro.trace import is_addition_only, locs
+
+
+def run(expr_source):
+    """Evaluate an expression with the Prelude in scope."""
+    program = parse_program(expr_source)
+    return program.evaluate()
+
+
+def nums(value):
+    return [item.value for item in to_pylist(value)]
+
+
+class TestListFunctions:
+    def test_range(self):
+        assert nums(run("(range 2 5)")) == [2, 3, 4, 5]
+
+    def test_range_empty(self):
+        assert nums(run("(range 5 2)")) == []
+
+    def test_zero_to(self):
+        assert nums(run("(zeroTo 4)")) == [0, 1, 2, 3]
+
+    def test_list0n_inclusive(self):
+        assert nums(run("(list0N 3)")) == [0, 1, 2, 3]
+
+    def test_map(self):
+        assert nums(run("(map (\\x (* x x)) [1 2 3])")) == [1, 4, 9]
+
+    def test_mapi_passes_index(self):
+        assert nums(run("(mapi (\\[i x] (+ i x)) [10 20 30])")) == \
+            [10, 21, 32]
+
+    def test_foldl(self):
+        assert run("(foldl (\\(x acc) (+ acc x)) 0 [1 2 3 4])").value == 10
+
+    def test_foldl_order(self):
+        # foldl builds strings left-to-right through the accumulator
+        assert run("(foldl (\\(x acc) (+ acc x)) '' ['a' 'b' 'c'])") == \
+            VStr("abc")
+
+    def test_foldr_order(self):
+        assert run("(foldr (\\(x acc) (+ x acc)) '' ['a' 'b' 'c'])") == \
+            VStr("abc")
+
+    def test_append(self):
+        assert nums(run("(append [1 2] [3 4])")) == [1, 2, 3, 4]
+
+    def test_concat(self):
+        assert nums(run("(concat [[1] [] [2 3]])")) == [1, 2, 3]
+
+    def test_concat_map(self):
+        assert nums(run("(concatMap (\\x [x x]) [1 2])")) == [1, 1, 2, 2]
+
+    def test_zip(self):
+        pairs = to_pylist(run("(zip [1 2 3] ['a' 'b'])"))
+        assert len(pairs) == 2
+        first = to_pylist(pairs[0])
+        assert first[0].value == 1 and first[1] == VStr("a")
+
+    def test_filter(self):
+        assert nums(run("(filter (\\x (< x 3)) [1 5 2 8])")) == [1, 2]
+
+    def test_reverse(self):
+        assert nums(run("(reverse [1 2 3])")) == [3, 2, 1]
+
+    def test_len(self):
+        assert run("(len [1 2 3 4 5])").value == 5
+
+    def test_sum(self):
+        assert run("(sum [1 2 3])").value == 6
+
+    def test_nth(self):
+        assert run("(nth [10 20 30] 1)").value == 20
+
+    def test_take_drop(self):
+        assert nums(run("(take 2 [1 2 3 4])")) == [1, 2]
+        assert nums(run("(drop 2 [1 2 3 4])")) == [3, 4]
+
+    def test_repeat(self):
+        assert nums(run("(repeat 3 7)")) == [7, 7, 7]
+
+    def test_cart_prod(self):
+        pairs = to_pylist(run("(cartProd [0 1] [0 1 2])"))
+        assert len(pairs) == 6
+
+    def test_intermingle(self):
+        assert nums(run("(intermingle [1 3] [2 4])")) == [1, 2, 3, 4]
+
+
+class TestNumericHelpers:
+    def test_two_pi(self):
+        assert run("twoPi").value == pytest.approx(2 * math.pi)
+
+    def test_clamp(self):
+        assert run("(clamp 0 10 15)").value == 10
+        assert run("(clamp 0 10 -5)").value == 0
+        assert run("(clamp 0 10 5)").value == 5
+
+    def test_between(self):
+        assert run("(between 0 10 5)") == VBool(True)
+        assert run("(between 0 10 15)") == VBool(False)
+
+    def test_min_max(self):
+        assert run("(min 3 7)").value == 3
+        assert run("(max 3 7)").value == 7
+
+    def test_deg_rad_roundtrip(self):
+        assert run("(radToDeg (degToRad 90))").value == pytest.approx(90)
+
+    def test_and_or_xor(self):
+        assert run("(and true false)") == VBool(False)
+        assert run("(or true false)") == VBool(True)
+        assert run("(xor true true)") == VBool(False)
+
+    def test_mult_value(self):
+        assert run("(mult 3 7)").value == 21
+
+    def test_mult_trace_is_addition_only(self):
+        # Appendix C: (mult 2 sep) has the addition-only trace
+        # (+ sep (+ sep 0)).
+        program = parse_program("(def sep 30) (mult 2 sep)")
+        value = program.evaluate()
+        assert value.value == 60
+        assert is_addition_only(value.trace)
+        assert sorted(loc.display() for loc in locs(value.trace)) == ["sep"]
+
+    def test_div(self):
+        assert run("(div 17 5)").value == 3
+
+
+class TestShapeConstructors:
+    def _attrs(self, value):
+        kind, attrs, children = to_pylist(value)
+        return {to_pylist(pair)[0].value: to_pylist(pair)[1]
+                for pair in to_pylist(attrs)}
+
+    def test_rect(self):
+        attrs = self._attrs(run("(rect 'red' 10 20 30 40)"))
+        assert attrs["x"].value == 10
+        assert attrs["width"].value == 30
+        assert attrs["fill"] == VStr("red")
+
+    def test_circle(self):
+        attrs = self._attrs(run("(circle 'blue' 5 6 7)"))
+        assert attrs["cx"].value == 5 and attrs["r"].value == 7
+
+    def test_ring_has_stroke(self):
+        attrs = self._attrs(run("(ring 'gray' 4 0 0 10)"))
+        assert attrs["stroke"] == VStr("gray")
+        assert attrs["fill"] == VStr("none")
+
+    def test_ellipse(self):
+        attrs = self._attrs(run("(ellipse 'g' 1 2 3 4)"))
+        assert attrs["rx"].value == 3 and attrs["ry"].value == 4
+
+    def test_line(self):
+        attrs = self._attrs(run("(line 'black' 2 1 2 3 4)"))
+        assert attrs["x1"].value == 1 and attrs["y2"].value == 4
+
+    def test_square_center(self):
+        attrs = self._attrs(run("(squareCenter 'red' 100 100 40)"))
+        assert attrs["x"].value == 80 and attrs["width"].value == 40
+
+    def test_polygon_points(self):
+        attrs = self._attrs(run("(polygon 'a' 'b' 1 [[0 0] [1 0] [0 1]])"))
+        points = to_pylist(attrs["points"])
+        assert len(points) == 3
+
+    def test_text_attr(self):
+        attrs = self._attrs(run("(text 5 6 'hello')"))
+        assert attrs["TEXT"] == VStr("hello")
+
+    def test_svg_wrapper(self):
+        kind, attrs, children = to_pylist(run("(svg [(circle 'r' 1 2 3)])"))
+        assert kind == VStr("svg")
+        assert len(to_pylist(children)) == 1
+
+    def test_add_attr_appends(self):
+        attrs = self._attrs(run("(addAttr (rect 'r' 1 2 3 4) ['rx' 5])"))
+        assert attrs["rx"].value == 5
+
+    def test_ghost_marks_hidden(self):
+        attrs = self._attrs(run("(ghost (rect 'r' 1 2 3 4))"))
+        assert "HIDDEN" in attrs
+
+    def test_ghosts_maps(self):
+        shapes = to_pylist(run("(ghosts [(rect 'r' 1 2 3 4)])"))
+        assert len(shapes) == 1
+
+    def test_nstar_point_count(self):
+        attrs = self._attrs(run("(nStar 'f' 's' 1 5 40 20 0 100 100)"))
+        assert len(to_pylist(attrs["points"])) == 10
+
+    def test_n_points_on_circle_count_and_radius(self):
+        points = to_pylist(run("(nPointsOnCircle 6 0 0 0 10)"))
+        assert len(points) == 6
+        for point in points:
+            x, y = (coord.value for coord in to_pylist(point))
+            assert math.hypot(x, y) == pytest.approx(10)
+
+    def test_n_points_on_circle_first_point_top(self):
+        # Point 0 sits at angle pi/2 (top of circle, y negated): (0, -r).
+        points = to_pylist(run("(nPointsOnCircle 4 0 0 0 10)"))
+        x, y = (coord.value for coord in to_pylist(points[0]))
+        assert x == pytest.approx(0, abs=1e-9)
+        assert y == pytest.approx(-10)
+
+
+class TestWidgets:
+    def test_num_slider_returns_value_and_shapes(self):
+        pair = to_pylist(run("(numSlider 0 100 20 0 10 'n = ' 3.5)"))
+        assert pair[0].value == pytest.approx(3.5)
+        assert len(to_pylist(pair[1])) == 5
+
+    def test_int_slider_rounds(self):
+        pair = to_pylist(run("(intSlider 0 100 20 0 10 'i = ' 3.5)"))
+        assert pair[0].value == 4
+
+    def test_slider_clamps(self):
+        pair = to_pylist(run("(numSlider 0 100 20 0 10 'n = ' 25)"))
+        assert pair[0].value == 10
+
+    def test_slider_shapes_are_ghosts(self):
+        pair = to_pylist(run("(numSlider 0 100 20 0 10 'n = ' 5)"))
+        for shape in to_pylist(pair[1]):
+            kind, attrs, children = to_pylist(shape)
+            keys = [to_pylist(p)[0].value for p in to_pylist(attrs)]
+            assert "HIDDEN" in keys
+
+    def test_bool_slider_true_below_half(self):
+        pair = to_pylist(run("(boolSlider 0 100 20 'b = ' 0.25)"))
+        assert pair[0] == VBool(True)
+
+    def test_bool_slider_false_above_half(self):
+        pair = to_pylist(run("(boolSlider 0 100 20 'b = ' 0.75)"))
+        assert pair[0] == VBool(False)
+
+    def test_enum_slider_picks_item(self):
+        pair = to_pylist(run(
+            "(enumSlider 0 100 20 ['a' 'b' 'c'] 's = ' 1.2)"))
+        assert pair[0] == VStr("b")
+
+    def test_xy_slider_returns_pair(self):
+        pair = to_pylist(run(
+            "(xySlider 0 100 0 100 0 10 0 10 3 7)"))
+        xy = to_pylist(pair[0])
+        assert xy[0].value == 3 and xy[1].value == 7
+
+    def test_button(self):
+        pair = to_pylist(run("(button 50 50 'go' 0.25)"))
+        assert pair[0] == VBool(True)
+
+
+class TestPreludeFreezing:
+    def test_all_prelude_literals_frozen(self):
+        program = parse_program("(+ 1 2)")
+        prelude_locs = [loc for loc in program.rho0 if loc.in_prelude]
+        assert prelude_locs, "prelude literals should be present"
+        assert all(loc.frozen for loc in prelude_locs)
+
+    def test_unfrozen_prelude_mode(self):
+        program = parse_program("(+ 1 2)", prelude_frozen=False)
+        prelude_locs = [loc for loc in program.rho0 if loc.in_prelude]
+        assert any(not loc.frozen for loc in prelude_locs)

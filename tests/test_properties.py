@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) for the core invariants:
+
+* solver soundness: any solution returned satisfies its equation;
+* SolveA equals SolveB on equations in both fragments;
+* substitution/evaluation commute: re-evaluating after applying a solved
+  substitution reproduces the dragged attribute value (live-sync soundness);
+* unparse/parse round-trip preserves evaluation;
+* trace evaluation under ρ0 reproduces the traced value.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.lang import evaluate, parse_expr, parse_program, value_equal
+from repro.lang.ast import Loc
+from repro.lang.errors import LittleRuntimeError, SolverFailure
+from repro.editor import LiveSession
+from repro.synthesis import (in_a_fragment, in_b_fragment,
+                             solve_addition_only, solve_one,
+                             solve_single_occurrence)
+from repro.trace import OpTrace, eval_trace, locs
+from repro.trace.context import numeric_leaves
+
+# --------------------------------------------------------------------------
+# Trace generators
+# --------------------------------------------------------------------------
+
+from tests.conftest import SINE_WAVE_SOURCE as SINE_SOURCE
+
+LOCS = [Loc(1000 + i, f"v{i}") for i in range(4)]
+
+finite_values = st.floats(min_value=-50, max_value=50,
+                          allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rho_strategy(draw):
+    return {loc: draw(finite_values) for loc in LOCS}
+
+
+def leaf():
+    return st.sampled_from(LOCS)
+
+
+def addition_traces():
+    return st.recursive(
+        leaf(),
+        lambda children: st.tuples(children, children).map(
+            lambda pair: OpTrace("+", pair)),
+        max_leaves=6)
+
+
+@st.composite
+def single_occurrence_traces(draw):
+    """A trace where LOCS[0] occurs exactly once, mixed with arithmetic."""
+    target = LOCS[0]
+    trace = target
+    depth = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(depth):
+        op = draw(st.sampled_from(["+", "-", "*", "/"]))
+        other = draw(st.sampled_from(LOCS[1:]))
+        side = draw(st.booleans())
+        trace = OpTrace(op, (trace, other) if side else (other, trace))
+    return trace
+
+
+# --------------------------------------------------------------------------
+# Solver properties
+# --------------------------------------------------------------------------
+
+class TestSolverProperties:
+    @given(rho=rho_strategy(), trace=addition_traces(),
+           target=finite_values)
+    @settings(max_examples=200)
+    def test_solve_a_solutions_satisfy_equation(self, rho, trace, target):
+        loc = LOCS[0]
+        try:
+            solution = solve_addition_only(rho, loc, target, trace)
+        except SolverFailure:
+            return
+        check = {**rho, loc: solution}
+        assert eval_trace(trace, check) == pytest.approx(target, abs=1e-6)
+
+    @given(rho=rho_strategy(), trace=single_occurrence_traces(),
+           target=finite_values)
+    @settings(max_examples=200)
+    def test_verified_solver_never_returns_wrong_answers(self, rho, trace,
+                                                         target):
+        # solve_one verifies plug-back, so any returned solution must
+        # satisfy the equation -- even for numerically nasty inputs.
+        loc = LOCS[0]
+        try:
+            solution = solve_one(rho, loc, target, trace)
+        except SolverFailure:
+            return
+        check = {**rho, loc: solution}
+        value = eval_trace(trace, check)
+        assert value == pytest.approx(target, rel=1e-6, abs=1e-6)
+
+    @given(rho=rho_strategy(), trace=addition_traces(),
+           target=finite_values)
+    @settings(max_examples=200)
+    def test_solvers_agree_on_shared_fragment(self, rho, trace, target):
+        loc = LOCS[0]
+        if not (in_a_fragment(trace, loc) and in_b_fragment(trace, loc)):
+            return
+        try:
+            a_solution = solve_addition_only(rho, loc, target, trace)
+            b_solution = solve_single_occurrence(rho, loc, target, trace)
+        except SolverFailure:
+            return
+        assert a_solution == pytest.approx(b_solution, rel=1e-9, abs=1e-9)
+
+
+# --------------------------------------------------------------------------
+# Trace-evaluation consistency
+# --------------------------------------------------------------------------
+
+class TestTraceConsistency:
+    @given(values=st.lists(finite_values, min_size=3, max_size=3))
+    @settings(max_examples=100)
+    def test_rho0_reproduces_output_values(self, values):
+        a, b, c = values
+        source = (f"(def [a b c] [{a!r} {b!r} {c!r}]) "
+                  "(svg [(rect 'r' (+ a b) (* a c) (+ 10! a) 20!)])")
+        try:
+            program = parse_program(source)
+            output = program.evaluate()
+        except LittleRuntimeError:
+            return
+        for leaf_value in numeric_leaves(output):
+            assert eval_trace(leaf_value.trace, program.rho0) == \
+                pytest.approx(leaf_value.value, rel=1e-9, abs=1e-9)
+
+
+# --------------------------------------------------------------------------
+# Live-synchronization soundness on the sine-wave example
+# --------------------------------------------------------------------------
+
+class TestLiveSyncProperties:
+    @given(dx=st.floats(min_value=-200, max_value=200, allow_nan=False),
+           dy=st.floats(min_value=-100, max_value=100, allow_nan=False),
+           box=st.integers(min_value=0, max_value=11))
+    @settings(max_examples=25, deadline=None)
+    def test_dragged_box_lands_at_target(self, dx, dy, box):
+        """After live sync, the dragged attribute equals old value + delta
+        whenever the trigger solved its equations (plausible updates)."""
+        session = LiveSession(SINE_SOURCE)
+        x_before = session.canvas[box].simple_num("x").value
+        y_before = session.canvas[box].simple_num("y").value
+        result = session.drag_zone(box, "INTERIOR", dx, dy)
+        if not result.all_solved:
+            return
+        x_after = session.canvas[box].simple_num("x").value
+        y_after = session.canvas[box].simple_num("y").value
+        assert x_after == pytest.approx(x_before + dx, abs=1e-6)
+        assert y_after == pytest.approx(y_before + dy, abs=1e-6)
+
+    @given(dx=st.floats(min_value=-50, max_value=50, allow_nan=False))
+    @settings(max_examples=15, deadline=None)
+    def test_drag_then_inverse_drag_roundtrips(self, dx):
+        session = LiveSession(SINE_SOURCE)
+        x_before = session.canvas[0].simple_num("x").value
+        session.drag_zone(0, "INTERIOR", dx, 0.0)
+        session.drag_zone(0, "INTERIOR", -dx, 0.0)
+        x_after = session.canvas[0].simple_num("x").value
+        assert x_after == pytest.approx(x_before, abs=1e-6)
+
+
+# --------------------------------------------------------------------------
+# Unparse/parse round trip
+# --------------------------------------------------------------------------
+
+EXPRESSION_SOURCES = st.sampled_from([
+    "(+ {a} {b})", "(- {a} {b})", "(* {a} {b})",
+    "(let x {a} (+ x {b}))",
+    "(if (< {a} {b}) {a} {b})",
+    "[{a} {b}]",
+    "((\\x (* x {b})) {a})",
+])
+
+
+class TestRoundTripProperties:
+    @given(template=EXPRESSION_SOURCES,
+           a=st.integers(min_value=-1000, max_value=1000),
+           b=st.integers(min_value=-1000, max_value=1000))
+    @settings(max_examples=150)
+    def test_unparse_parse_preserves_value(self, template, a, b):
+        from repro.lang import unparse
+        source = template.format(a=a, b=b)
+        expr = parse_expr(source)
+        reparsed = parse_expr(unparse(expr))
+        assert value_equal(evaluate(expr), evaluate(reparsed))

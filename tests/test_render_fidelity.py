@@ -1,0 +1,75 @@
+"""Render fidelity: every corpus export is well-formed XML whose element
+population matches the canvas."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.examples import example_names, load_example
+from repro.svg import Canvas, render_canvas
+
+ALL_NAMES = example_names()
+
+
+def exported_tree(name, include_hidden=False):
+    program = load_example(name)
+    canvas = Canvas.from_value(program.evaluate())
+    text = render_canvas(canvas.root, include_hidden=include_hidden)
+    return canvas, ElementTree.fromstring(text)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_export_is_well_formed_xml(name):
+    canvas, root = exported_tree(name, include_hidden=True)
+    assert root.tag.endswith("svg")
+    element_count = sum(1 for _ in root.iter()) - 1   # minus root
+    assert element_count == len(canvas)
+
+
+@pytest.mark.parametrize("name", ["sliders", "tile_pattern",
+                                  "rounded_rect", "color_picker"])
+def test_hidden_shapes_stripped_from_export(name):
+    canvas, root = exported_tree(name, include_hidden=False)
+    element_count = sum(1 for _ in root.iter()) - 1
+    assert element_count == len(canvas.visible_shapes())
+
+
+def test_numeric_attributes_have_no_units():
+    _, root = exported_tree("three_boxes")
+    rect = next(el for el in root.iter() if el.tag.endswith("rect"))
+    assert rect.get("x").replace(".", "").lstrip("-").isdigit()
+
+
+def test_points_attribute_format():
+    _, root = exported_tree("triangles")
+    polygon = next(el for el in root.iter()
+                   if el.tag.endswith("polygon"))
+    for pair in polygon.get("points").split(" "):
+        x, y = pair.split(",")
+        float(x), float(y)
+
+
+def test_path_attribute_format():
+    _, root = exported_tree("botanic_garden_logo")
+    path = next(el for el in root.iter() if el.tag.endswith("path"))
+    assert path.get("d").startswith("M ")
+
+
+def test_text_content_survives():
+    _, root = exported_tree("misc_shapes")
+    text = next(el for el in root.iter() if el.tag.endswith("text"))
+    assert "misc shapes" in (text.text or "")
+
+
+def test_color_numbers_become_css():
+    _, root = exported_tree("color_wheel")
+    paths = [el for el in root.iter() if el.tag.endswith("path")]
+    assert all(el.get("fill").startswith(("hsl(", "rgb("))
+               for el in paths)
+
+
+def test_transforms_rendered():
+    _, root = exported_tree("sample_rotations")
+    rects = [el for el in root.iter() if el.tag.endswith("rect")]
+    assert all(rect.get("transform", "").startswith("rotate(")
+               for rect in rects)

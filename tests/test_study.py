@@ -1,0 +1,103 @@
+"""Tests for the user-study reproduction (Appendix E/F, Figure 9)."""
+
+import pytest
+
+from repro.study import (DEFAULT_SEED, MeanEstimate, N_PARTICIPANTS,
+                         PAPER_RESULTS, TASKS, analyze_all,
+                         analyze_comparison, bootstrap_t_mean,
+                         expand_counts, experienced_fraction, format_figure9,
+                         format_histogram, hypothesis1_table,
+                         hypothesis2_holds, hypothesis2_table,
+                         plans_to_try_fraction)
+from repro.study.data import A_VS_B, COMPARISONS, C_VS_A, C_VS_B
+
+
+class TestData:
+    def test_every_question_has_25_responses(self):
+        for table in (A_VS_B, C_VS_A, C_VS_B):
+            for task, counts in table.items():
+                assert sum(counts) == N_PARTICIPANTS, task
+
+    def test_expand_counts(self):
+        assert expand_counts([1, 0, 2, 0, 1]) == [-2, 0, 0, 2]
+
+    def test_expand_counts_validates_length(self):
+        with pytest.raises(ValueError):
+            expand_counts([1, 2, 3])
+
+
+class TestMeansMatchPaperExactly:
+    @pytest.mark.parametrize("comparison", list(COMPARISONS))
+    @pytest.mark.parametrize("task", TASKS)
+    def test_mean(self, comparison, task):
+        result = analyze_comparison(comparison, task, resamples=100)
+        assert result.estimate.mean == pytest.approx(result.paper_mean,
+                                                     abs=1e-9)
+
+
+class TestConfidenceIntervals:
+    def test_cis_close_to_paper(self):
+        """Bootstrap-t CIs depend on resampling, but with 10k resamples
+        they land within a small tolerance of the published intervals."""
+        for result in analyze_all():
+            low, high = result.paper_interval
+            assert result.estimate.low == pytest.approx(low, abs=0.12)
+            assert result.estimate.high == pytest.approx(high, abs=0.12)
+
+    def test_interval_contains_mean(self):
+        for result in analyze_all(resamples=1000):
+            assert result.estimate.low <= result.estimate.mean \
+                <= result.estimate.high
+
+    def test_deterministic_given_seed(self):
+        first = bootstrap_t_mean([1, 2, 3, 4, 5], seed=7)
+        second = bootstrap_t_mean([1, 2, 3, 4, 5], seed=7)
+        assert first == second
+
+    def test_degenerate_data(self):
+        estimate = bootstrap_t_mean([3.0, 3.0, 3.0])
+        assert estimate == MeanEstimate(3.0, 3.0, 3.0)
+
+    def test_requires_two_observations(self):
+        with pytest.raises(ValueError):
+            bootstrap_t_mean([1.0])
+
+
+class TestHypotheses:
+    def test_h1_heuristics_sometimes_preferred(self):
+        """Keyboard shows positive preference for heuristics (B); Ferris
+        does not — heuristics are *sometimes* preferable (§E.2)."""
+        table = {r.task: r.estimate.mean
+                 for r in hypothesis1_table(resamples=100)}
+        assert table["keyboard"] > 0
+        assert table["ferris"] < 0
+        assert abs(table["tessellation"]) < 0.5
+
+    def test_h2_direct_manipulation_preferred(self):
+        assert hypothesis2_holds(resamples=100)
+
+    def test_h2_means(self):
+        tables = hypothesis2_table(resamples=100)
+        assert [round(r.estimate.mean, 2)
+                for r in tables["c_vs_a"]] == [1.12, 0.92, 0.76]
+        assert [round(r.estimate.mean, 2)
+                for r in tables["c_vs_b"]] == [0.80, 1.24, 1.00]
+
+    def test_background_64_percent_experienced(self):
+        assert experienced_fraction() == pytest.approx(0.64)
+
+    def test_plans_to_try(self):
+        assert plans_to_try_fraction() == pytest.approx(0.60)
+
+
+class TestRendering:
+    def test_histogram_bars(self):
+        text = format_histogram([3, 14, 2, 5, 1])
+        assert "##############" in text   # the 14-bar
+        assert "(3)" in text and "(1)" in text
+
+    def test_figure9_contains_all_tasks(self):
+        text = format_figure9(resamples=200)
+        for task in ("Ferris", "Keyboard", "Tessellation"):
+            assert task in text
+        assert "64%" in text

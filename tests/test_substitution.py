@@ -1,0 +1,103 @@
+"""Tests for substitutions ρ and their application to programs (§2.2, §3)."""
+
+import pytest
+
+from repro.lang import parse_program, substitute, to_pylist
+from repro.lang.ast import Loc
+from repro.trace.substitution import Substitution
+
+
+def find_loc(program, name):
+    for loc in program.rho0:
+        if loc.name == name:
+            return loc
+    raise AssertionError(f"no location named {name}")
+
+
+class TestSubstitutionClass:
+    def test_extend(self):
+        a = Loc(1, "a")
+        rho = Substitution().extend(a, 5.0)
+        assert rho[a] == 5.0
+
+    def test_extend_is_persistent(self):
+        a = Loc(1, "a")
+        rho1 = Substitution({a: 1.0})
+        rho2 = rho1.extend(a, 2.0)
+        assert rho1[a] == 1.0 and rho2[a] == 2.0
+
+    def test_concat_rightmost_wins(self):
+        a = Loc(1, "a")
+        rho = Substitution({a: 1.0}).concat({a: 9.0})
+        assert rho[a] == 9.0
+
+    def test_changes_from(self):
+        a, b = Loc(1, "a"), Loc(2, "b")
+        base = {a: 1.0, b: 2.0}
+        rho = Substitution(base).extend(a, 5.0)
+        assert rho.changes_from(base) == {a: 5.0}
+
+    def test_mapping_interface(self):
+        a = Loc(1, "a")
+        rho = Substitution({a: 1.0})
+        assert len(rho) == 1
+        assert list(rho) == [a]
+        assert a in rho
+
+
+class TestProgramSubstitution:
+    def test_updates_literal(self, sine_program):
+        x0 = find_loc(sine_program, "x0")
+        updated = sine_program.substitute({x0: 95.0})
+        assert "95" in updated.unparse().splitlines()[0]
+
+    def test_original_unchanged(self, sine_program):
+        x0 = find_loc(sine_program, "x0")
+        sine_program.substitute({x0: 95.0})
+        assert "50" in sine_program.unparse().splitlines()[0]
+
+    def test_rho0_updated(self, sine_program):
+        x0 = find_loc(sine_program, "x0")
+        updated = sine_program.substitute({x0: 95.0})
+        assert updated.rho0[x0] == 95.0
+
+    def test_evaluation_reflects_update(self, sine_program):
+        x0 = find_loc(sine_program, "x0")
+        updated = sine_program.substitute({x0: 95.0})
+        svg = to_pylist(updated.evaluate())
+        first_box = to_pylist(to_pylist(svg[2])[0])
+        attrs = {to_pylist(p)[0].value: to_pylist(p)[1]
+                 for p in to_pylist(first_box[1])}
+        assert attrs["x"].value == 95.0
+
+    def test_annotations_preserved(self, sine_program):
+        n = find_loc(sine_program, "n")
+        updated = sine_program.substitute({n: 8.0})
+        assert "8!{3-30}" in updated.unparse()
+
+    def test_structure_shared_when_untouched(self, sine_program):
+        updated = sine_program.substitute({})
+        assert updated.user_ast is sine_program.user_ast
+
+    def test_prelude_substitution_possible_when_unfrozen(self):
+        program = parse_program("(svg [(rect 'r' (+ 10 0) 1 2 3)])",
+                                prelude_frozen=False)
+        prelude_loc = next(loc for loc in program.rho0 if loc.in_prelude)
+        updated = program.substitute({prelude_loc: 123.0})
+        assert updated.rho0[prelude_loc] == 123.0
+
+
+class TestSubstituteFunction:
+    def test_noop_returns_same_object(self):
+        program = parse_program("(+ 1 2)")
+        assert substitute(program.user_ast, {}) is program.user_ast
+
+    def test_applies_inside_nested_structures(self):
+        program = parse_program(
+            "(def f (\\x [(+ x 1) 'k'])) (svg [(rect 'r' 5 5 5 5)])")
+        target = next(loc for loc, value in program.rho0.items()
+                      if value == 1.0 and not loc.in_prelude)
+        new_ast = substitute(program.user_ast, {target: 99.0})
+        new_rho = {loc: val
+                   for loc, val in parse_program("(+ 1 2)").rho0.items()}
+        assert new_ast is not program.user_ast

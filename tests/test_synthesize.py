@@ -1,0 +1,80 @@
+"""Tests for SynthesizePlausible (Appendix B.2)."""
+
+import pytest
+
+from repro.lang.ast import Loc
+from repro.synthesis import synthesize_plausible
+from repro.trace import OpTrace
+from repro.trace.equation import Equation
+
+
+@pytest.fixture
+def setup():
+    a, b, c = Loc(1, "a"), Loc(2, "b"), Loc(3, "c")
+    rho0 = {a: 2.0, b: 10.0, c: 4.0}
+    return a, b, c, rho0
+
+
+class TestSingleEquation:
+    def test_enumerates_one_candidate_per_location(self, setup):
+        a, b, _, rho0 = setup
+        eq = Equation(30.0, OpTrace("*", (a, b)))
+        candidates = synthesize_plausible(rho0, [eq])
+        assert {c.choice[0] for c in candidates} == {a, b}
+
+    def test_solutions_satisfy_equation(self, setup):
+        a, b, _, rho0 = setup
+        eq = Equation(30.0, OpTrace("*", (a, b)))
+        for candidate in synthesize_plausible(rho0, [eq]):
+            assert eq.satisfied(candidate.substitution)
+
+    def test_unsolvable_choice_dropped(self, setup):
+        a, b, c, rho0 = setup
+        rho0 = {**rho0, c: 0.0}
+        # a * c with c = 0: solving for a fails, solving for c succeeds.
+        eq = Equation(8.0, OpTrace("*", (a, c)))
+        candidates = synthesize_plausible(rho0, [eq])
+        assert {cand.choice[0] for cand in candidates} == {c}
+
+    def test_frozen_locations_not_candidates(self, setup):
+        a, _, _, rho0 = setup
+        frozen = Loc(9, "f", frozen=True)
+        rho0 = {**rho0, frozen: 1.0}
+        eq = Equation(5.0, OpTrace("+", (a, frozen)))
+        candidates = synthesize_plausible(rho0, [eq])
+        assert {c.choice[0] for c in candidates} == {a}
+
+    def test_no_unknowns_returns_empty(self, setup):
+        _, _, _, rho0 = setup
+        frozen = Loc(9, "f", frozen=True)
+        rho0 = {**rho0, frozen: 1.0}
+        eq = Equation(5.0, frozen)
+        assert synthesize_plausible(rho0, [eq]) == []
+
+
+class TestMultipleEquations:
+    def test_cross_product(self, setup):
+        a, b, c, rho0 = setup
+        eq1 = Equation(15.0, OpTrace("+", (a, b)))
+        eq2 = Equation(8.0, OpTrace("*", (c, Loc(1, "a"))))
+        candidates = synthesize_plausible(rho0, [eq1, eq2])
+        assert len(candidates) == 4   # {a,b} x {c,a}
+
+    def test_later_bindings_shadow(self, setup):
+        a, b, _, rho0 = setup
+        # Both equations solve for a; the second equation's binding wins.
+        eq1 = Equation(5.0, a)
+        eq2 = Equation(7.0, a)
+        candidates = synthesize_plausible(rho0, [eq1, eq2])
+        assert len(candidates) == 1
+        assert candidates[0].substitution[a] == 7.0
+        # Plausible: satisfies eq2 but not eq1.
+        assert eq2.satisfied(candidates[0].substitution)
+        assert not eq1.satisfied(candidates[0].substitution)
+
+    def test_max_candidates_cap(self, setup):
+        a, b, c, rho0 = setup
+        eq = Equation(16.0, OpTrace("+", (a, OpTrace("+", (b, c)))))
+        candidates = synthesize_plausible(rho0, [eq, eq, eq],
+                                          max_candidates=5)
+        assert len(candidates) <= 5

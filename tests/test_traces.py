@@ -1,0 +1,181 @@
+"""Tests for the trace datatype and operations (§2.1, §3)."""
+
+import math
+
+import pytest
+
+from repro.lang.ast import Loc
+from repro.lang import parse_program, to_pylist
+from repro.trace import (OpTrace, all_locs, count_loc_occurrences, eval_trace,
+                         format_trace, is_addition_only, locs, occurrences,
+                         trace_key, trace_size)
+
+
+def make_locs():
+    a = Loc(1, "a")
+    b = Loc(2, "b")
+    frozen = Loc(3, "f", frozen=True)
+    return a, b, frozen
+
+
+class TestLocs:
+    def test_leaf(self):
+        a, _, _ = make_locs()
+        assert locs(a) == frozenset({a})
+
+    def test_frozen_excluded(self):
+        _, _, frozen = make_locs()
+        assert locs(frozen) == frozenset()
+
+    def test_all_locs_includes_frozen(self):
+        a, _, frozen = make_locs()
+        trace = OpTrace("+", (a, frozen))
+        assert all_locs(trace) == frozenset({a, frozen})
+
+    def test_nested(self):
+        a, b, _ = make_locs()
+        trace = OpTrace("*", (OpTrace("+", (a, b)), a))
+        assert locs(trace) == frozenset({a, b})
+
+    def test_loc_equality_by_ident(self):
+        assert Loc(5) == Loc(5, "named")
+        assert hash(Loc(5)) == hash(Loc(5, "named"))
+
+
+class TestOccurrences:
+    def test_counts_repeats(self):
+        a, b, _ = make_locs()
+        trace = OpTrace("+", (a, OpTrace("+", (a, b))))
+        assert occurrences(trace, a) == 2
+        assert occurrences(trace, b) == 1
+
+    def test_absent(self):
+        a, b, _ = make_locs()
+        assert occurrences(a, b) == 0
+
+    def test_count_loc_occurrences_across_traces(self):
+        a, b, _ = make_locs()
+        counts = count_loc_occurrences([a, OpTrace("+", (a, b))])
+        assert counts[a] == 2 and counts[b] == 1
+
+
+class TestTraceSize:
+    def test_leaf_size(self):
+        a, _, _ = make_locs()
+        assert trace_size(a) == 1
+
+    def test_compound(self):
+        a, b, _ = make_locs()
+        assert trace_size(OpTrace("+", (a, OpTrace("*", (a, b))))) == 5
+
+
+class TestTraceKey:
+    def test_equal_structures_equal_keys(self):
+        a, b, _ = make_locs()
+        t1 = OpTrace("+", (a, b))
+        t2 = OpTrace("+", (Loc(1), Loc(2)))
+        assert trace_key(t1) == trace_key(t2)
+
+    def test_different_ops_different_keys(self):
+        a, b, _ = make_locs()
+        assert trace_key(OpTrace("+", (a, b))) != \
+            trace_key(OpTrace("*", (a, b)))
+
+    def test_key_is_hashable(self):
+        a, b, _ = make_locs()
+        {trace_key(OpTrace("+", (a, b)))}
+
+
+class TestIsAdditionOnly:
+    def test_pure_addition(self):
+        a, b, _ = make_locs()
+        assert is_addition_only(OpTrace("+", (a, OpTrace("+", (a, b)))))
+
+    def test_leaf(self):
+        a, _, _ = make_locs()
+        assert is_addition_only(a)
+
+    def test_multiplication_rejected(self):
+        a, b, _ = make_locs()
+        assert not is_addition_only(OpTrace("*", (a, b)))
+
+    def test_nested_non_plus_rejected(self):
+        a, b, _ = make_locs()
+        assert not is_addition_only(OpTrace("+", (a, OpTrace("sin", (b,)))))
+
+
+class TestEvalTrace:
+    def test_leaf(self):
+        a, _, _ = make_locs()
+        assert eval_trace(a, {a: 5.0}) == 5.0
+
+    def test_compound(self):
+        a, b, _ = make_locs()
+        trace = OpTrace("+", (a, OpTrace("*", (a, b))))
+        assert eval_trace(trace, {a: 2.0, b: 10.0}) == 22.0
+
+    def test_trig(self):
+        a, _, _ = make_locs()
+        assert eval_trace(OpTrace("cos", (a,)), {a: 0.0}) == 1.0
+
+    def test_missing_location_raises(self):
+        a, b, _ = make_locs()
+        with pytest.raises(KeyError):
+            eval_trace(OpTrace("+", (a, b)), {a: 1.0})
+
+
+class TestFormatTrace:
+    def test_matches_paper_notation(self):
+        a = Loc(1, "x0")
+        b = Loc(2, "sep")
+        i = Loc(3, "l0")
+        trace = OpTrace("+", (a, OpTrace("*", (i, b))))
+        assert format_trace(trace) == "(+ x0 (* l0 sep))"
+
+    def test_nullary(self):
+        assert format_trace(OpTrace("pi", ())) == "(pi)"
+
+
+class TestPaperEquations:
+    """The value-trace equations of §2.1 for sineWaveOfBoxes."""
+
+    @pytest.fixture
+    def boxes(self, sine_program):
+        value = sine_program.evaluate()
+        svg = to_pylist(value)
+        return [to_pylist(shape) for shape in to_pylist(svg[2])]
+
+    def _x_attr(self, box):
+        attrs = {to_pylist(pair)[0].value: to_pylist(pair)[1]
+                 for pair in to_pylist(box[1])}
+        return attrs["x"]
+
+    def test_equation_1(self, boxes):
+        x = self._x_attr(boxes[0])
+        assert x.value == 50.0
+        assert format_trace(x.trace).startswith("(+ x0 (* ")
+        assert format_trace(x.trace).endswith("sep))")
+
+    def test_equation_2_structure(self, boxes):
+        x = self._x_attr(boxes[1])
+        assert x.value == 80.0
+        # (+ x0 (* (+ l1 l0) sep))
+        assert x.trace.op == "+"
+        inner = x.trace.args[1]
+        assert inner.op == "*"
+        assert inner.args[0].op == "+"
+
+    def test_equation_3_structure(self, boxes):
+        x = self._x_attr(boxes[2])
+        assert x.value == 110.0
+        # (+ x0 (* (+ l1 (+ l1 l0)) sep)) -- l1 occurs twice
+        index_trace = x.trace.args[1].args[0]
+        assert index_trace.op == "+"
+        assert index_trace.args[1].op == "+"
+        assert index_trace.args[0] == index_trace.args[1].args[0]
+
+    def test_rho0_solves_all_equations(self, sine_program, boxes):
+        rho0 = sine_program.rho0
+        for box in boxes:
+            x = self._x_attr(box)
+            assert eval_trace(x.trace, rho0) == pytest.approx(x.value)

@@ -1,0 +1,124 @@
+"""Tests for mouse triggers (§4.1 and Appendix B.1): dragging zones solves
+one univariate equation per controlled attribute."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.svg import Canvas
+from repro.zones import assign_canvas, compute_triggers
+
+
+def session_parts(source, heuristic="fair"):
+    program = parse_program(source)
+    canvas = Canvas.from_value(program.evaluate())
+    assignments = assign_canvas(canvas, heuristic)
+    triggers = compute_triggers(canvas, assignments, program.rho0)
+    return program, canvas, triggers
+
+
+def names(bindings):
+    return {loc.display(): value for loc, value in bindings.items()}
+
+
+ONE_RECT = "(def [x y w h] [10 20 100 50]) (svg [(rect 'r' x y w h)])"
+
+
+class TestRectTriggers:
+    def test_interior_covariant(self):
+        _, _, triggers = session_parts(ONE_RECT)
+        result = triggers[(0, "INTERIOR")](5.0, -3.0)
+        assert names(result.bindings) == {"x": 15.0, "y": 17.0}
+
+    def test_right_edge_controls_width(self):
+        _, _, triggers = session_parts(ONE_RECT)
+        result = triggers[(0, "RIGHTEDGE")](7.0, 99.0)
+        assert names(result.bindings) == {"w": 107.0}
+
+    def test_botleft_contravariant_width(self):
+        # §4.2: width varies contravariantly with dx.
+        _, _, triggers = session_parts(ONE_RECT)
+        result = triggers[(0, "BOTLEFTCORNER")](10.0, 4.0)
+        assert names(result.bindings) == {"x": 20.0, "w": 90.0, "h": 54.0}
+
+    def test_topleft_all_four(self):
+        _, _, triggers = session_parts(ONE_RECT)
+        result = triggers[(0, "TOPLEFTCORNER")](2.0, 3.0)
+        assert names(result.bindings) == {
+            "x": 12.0, "y": 23.0, "w": 98.0, "h": 47.0}
+
+    def test_trigger_offsets_cumulative(self):
+        _, _, triggers = session_parts(ONE_RECT)
+        trigger = triggers[(0, "INTERIOR")]
+        assert names(trigger(1.0, 0.0).bindings)["x"] == 11.0
+        # Offsets are from the drag start, not incremental.
+        assert names(trigger(5.0, 0.0).bindings)["x"] == 15.0
+
+
+class TestCircleTriggers:
+    def test_radius_via_right_edge(self):
+        _, _, triggers = session_parts(
+            "(def r 30) (svg [(circle 'c' 50! 50! r)])")
+        result = triggers[(0, "RIGHTEDGE")](12.0, 0.0)
+        assert names(result.bindings) == {"r": 42.0}
+
+    def test_radius_via_bottom_edge_uses_dy(self):
+        _, _, triggers = session_parts(
+            "(def r 30) (svg [(circle 'c' 50! 50! r)])")
+        result = triggers[(0, "BOTEDGE")](99.0, 5.0)
+        assert names(result.bindings) == {"r": 35.0}
+
+
+class TestLineTriggers:
+    def test_edge_translates_both_points(self):
+        source = ("(def [x1 y1 x2 y2] [0 0 10 10]) "
+                  "(svg [(line 's' 1! x1 y1 x2 y2)])")
+        _, _, triggers = session_parts(source)
+        result = triggers[(0, "EDGE")](3.0, 4.0)
+        assert names(result.bindings) == {
+            "x1": 3.0, "y1": 4.0, "x2": 13.0, "y2": 14.0}
+
+
+class TestPolygonTriggers:
+    def test_point_zone_moves_one_vertex(self):
+        source = ("(def [ax ay bx by cx cy] [0 0 10 0 5 8]) "
+                  "(svg [(polygon 'f' 's' 1! [[ax ay] [bx by] [cx cy]])])")
+        _, _, triggers = session_parts(source)
+        result = triggers[(0, "POINT1")](2.0, 3.0)
+        assert names(result.bindings) == {"bx": 12.0, "by": 3.0}
+
+
+class TestSharedLocations:
+    def test_shared_parameter_updates_all_boxes(self, three_boxes_session):
+        # Dragging box 1's INTERIOR changes whatever location the heuristic
+        # assigned; applying it moves related boxes too.
+        session = three_boxes_session
+        x_before = [session.canvas[i].simple_num("x").value
+                    for i in range(3)]
+        session.drag_zone(1, "INTERIOR", 10.0, 0.0)
+        x_after = [session.canvas[i].simple_num("x").value
+                   for i in range(3)]
+        assert x_after != x_before
+        # Box 1 landed where the user dragged it (plausible update).
+        assert x_after[1] == x_before[1] + 10.0
+
+    def test_overconstrained_square_applies_last_binding(self):
+        # §4.1 Recap: x and y share location xy; the solutions differ and
+        # the implementation applies them in order, satisfying at least one
+        # constraint (plausible, not faithful).
+        source = "(def xy 100) (svg [(rect 'red' xy xy 50! 50!)])"
+        _, _, triggers = session_parts(source)
+        result = triggers[(0, "INTERIOR")](10.0, 30.0)
+        assert names(result.bindings) == {"xy": 130.0}
+        assert result.all_solved
+
+    def test_solver_failure_reported_not_fatal(self):
+        # x = x0 + 0*sep: solving for sep fails (Appendix B.2); force the
+        # sep assignment by freezing x0.
+        source = ("(def [x0 sep w] [50! 30 20]) "
+                  "(svg [(rect 'r' (+ x0 (* 0! sep)) 10! w 20!)])")
+        _, _, triggers = session_parts(source)
+        result = triggers[(0, "LEFTEDGE")](5.0, 0.0)
+        failed = [outcome for outcome in result.outcomes
+                  if not outcome.solved]
+        assert failed, "expected the x-attribute solve to fail"
+        assert not result.all_solved

@@ -1,0 +1,178 @@
+"""Tests for the zone tables of Figure 5."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.svg import Canvas
+from repro.zones import (X_AXIS, Y_AXIS, zones_for_canvas, zones_for_shape)
+
+
+def canvas_of(source):
+    return Canvas.from_value(parse_program(source).evaluate())
+
+
+def zone_map(shape):
+    return {zone.name: zone for zone in zones_for_shape(shape)}
+
+
+def offsets(zone):
+    """{attr name: (axis, sign)} for a zone."""
+    return {feature.ref.name: (feature.axis, feature.sign)
+            for feature in zone.features}
+
+
+class TestRectZones:
+    @pytest.fixture
+    def rect_zones(self):
+        canvas = canvas_of("(svg [(rect 'r' 10 20 30 40)])")
+        return zone_map(canvas[0])
+
+    def test_nine_zones(self, rect_zones):
+        assert len(rect_zones) == 9
+
+    def test_interior(self, rect_zones):
+        assert offsets(rect_zones["INTERIOR"]) == {
+            "x": (X_AXIS, 1), "y": (Y_AXIS, 1)}
+
+    def test_right_edge(self, rect_zones):
+        assert offsets(rect_zones["RIGHTEDGE"]) == {"width": (X_AXIS, 1)}
+
+    def test_bot_right_corner(self, rect_zones):
+        assert offsets(rect_zones["BOTRIGHTCORNER"]) == {
+            "width": (X_AXIS, 1), "height": (Y_AXIS, 1)}
+
+    def test_bot_left_corner_contravariant_width(self, rect_zones):
+        # §4.2: width varies contravariantly with dx, x covariantly.
+        assert offsets(rect_zones["BOTLEFTCORNER"]) == {
+            "x": (X_AXIS, 1), "width": (X_AXIS, -1),
+            "height": (Y_AXIS, 1)}
+
+    def test_left_edge(self, rect_zones):
+        assert offsets(rect_zones["LEFTEDGE"]) == {
+            "x": (X_AXIS, 1), "width": (X_AXIS, -1)}
+
+    def test_top_left_corner_four_attrs(self, rect_zones):
+        assert offsets(rect_zones["TOPLEFTCORNER"]) == {
+            "x": (X_AXIS, 1), "y": (Y_AXIS, 1),
+            "width": (X_AXIS, -1), "height": (Y_AXIS, -1)}
+
+    def test_top_edge(self, rect_zones):
+        assert offsets(rect_zones["TOPEDGE"]) == {
+            "y": (Y_AXIS, 1), "height": (Y_AXIS, -1)}
+
+    def test_top_right_corner(self, rect_zones):
+        assert offsets(rect_zones["TOPRIGHTCORNER"]) == {
+            "y": (Y_AXIS, 1), "width": (X_AXIS, 1),
+            "height": (Y_AXIS, -1)}
+
+    def test_bot_edge(self, rect_zones):
+        assert offsets(rect_zones["BOTEDGE"]) == {"height": (Y_AXIS, 1)}
+
+
+class TestLineZones:
+    @pytest.fixture
+    def line_zones(self):
+        canvas = canvas_of("(svg [(line 's' 1 0 0 10 10)])")
+        return zone_map(canvas[0])
+
+    def test_three_zones(self, line_zones):
+        assert set(line_zones) == {"POINT1", "POINT2", "EDGE"}
+
+    def test_point1(self, line_zones):
+        assert offsets(line_zones["POINT1"]) == {
+            "x1": (X_AXIS, 1), "y1": (Y_AXIS, 1)}
+
+    def test_edge_moves_both_points(self, line_zones):
+        assert offsets(line_zones["EDGE"]) == {
+            "x1": (X_AXIS, 1), "y1": (Y_AXIS, 1),
+            "x2": (X_AXIS, 1), "y2": (Y_AXIS, 1)}
+
+
+class TestCircleEllipseZones:
+    def test_circle(self):
+        canvas = canvas_of("(svg [(circle 'c' 0 0 10)])")
+        zones = zone_map(canvas[0])
+        assert offsets(zones["INTERIOR"]) == {
+            "cx": (X_AXIS, 1), "cy": (Y_AXIS, 1)}
+        assert offsets(zones["RIGHTEDGE"]) == {"r": (X_AXIS, 1)}
+        assert offsets(zones["BOTEDGE"]) == {"r": (Y_AXIS, 1)}
+
+    def test_ellipse(self):
+        canvas = canvas_of("(svg [(ellipse 'c' 0 0 10 20)])")
+        zones = zone_map(canvas[0])
+        assert offsets(zones["RIGHTEDGE"]) == {"rx": (X_AXIS, 1)}
+        assert offsets(zones["BOTEDGE"]) == {"ry": (Y_AXIS, 1)}
+
+
+class TestPolygonZones:
+    @pytest.fixture
+    def tri_zones(self):
+        canvas = canvas_of(
+            "(svg [(polygon 'f' 's' 1 [[0 0] [10 0] [5 8]])])")
+        return zone_map(canvas[0])
+
+    def test_zone_inventory(self, tri_zones):
+        # n POINTs + n EDGEs (closed) + INTERIOR
+        assert set(tri_zones) == {
+            "POINT0", "POINT1", "POINT2",
+            "EDGE0", "EDGE1", "EDGE2", "INTERIOR"}
+
+    def test_point_zone(self, tri_zones):
+        assert offsets(tri_zones["POINT1"]) == {
+            "points[1].x": (X_AXIS, 1), "points[1].y": (Y_AXIS, 1)}
+
+    def test_edge_wraps(self, tri_zones):
+        # EDGE2 connects point 2 back to point 0.
+        names = set(offsets(tri_zones["EDGE2"]))
+        assert names == {"points[2].x", "points[2].y",
+                         "points[0].x", "points[0].y"}
+
+    def test_interior_controls_all(self, tri_zones):
+        assert len(tri_zones["INTERIOR"].features) == 6
+
+    def test_polyline_has_no_closing_edge(self):
+        canvas = canvas_of(
+            "(svg [(polyline 'f' 's' 1 [[0 0] [10 0] [5 8]])])")
+        zones = zone_map(canvas[0])
+        assert "EDGE1" in zones and "EDGE2" not in zones
+
+
+class TestPathZones:
+    def test_point_zones_from_pairs(self):
+        canvas = canvas_of(
+            "(svg [(path 'f' 's' 1 ['M' 0 0 'L' 10 10])])")
+        zones = zone_map(canvas[0])
+        assert "POINT0" in zones and "POINT1" in zones
+        assert offsets(zones["POINT0"]) == {
+            "d[0]": (X_AXIS, 1), "d[1]": (Y_AXIS, 1)}
+
+    def test_curve_control_points_exposed(self):
+        canvas = canvas_of(
+            "(svg [(path 'f' 's' 1 ['M' 0 0 'C' 1 1 2 2 3 3])])")
+        zones = zone_map(canvas[0])
+        point_zones = [name for name in zones if name.startswith("POINT")]
+        assert len(point_zones) == 4   # M endpoint + 2 controls + C endpoint
+
+    def test_interior_covers_all_numbers(self):
+        canvas = canvas_of(
+            "(svg [(path 'f' 's' 1 ['M' 0 0 'L' 10 10 'L' 20 0])])")
+        zones = zone_map(canvas[0])
+        assert len(zones["INTERIOR"].features) == 6
+
+
+class TestTextAndUnknown:
+    def test_text_interior(self):
+        canvas = canvas_of("(svg [(text 5 6 'hello')])")
+        zones = zone_map(canvas[0])
+        assert offsets(zones["INTERIOR"]) == {
+            "x": (X_AXIS, 1), "y": (Y_AXIS, 1)}
+
+    def test_unknown_kind_has_no_zones(self):
+        canvas = canvas_of("(svg [['marker' [] []]])")
+        assert zones_for_shape(canvas[0]) == []
+
+
+class TestCanvasZones:
+    def test_sine_wave_zone_count(self, sine_canvas):
+        # 12 rects x 9 zones.
+        assert len(zones_for_canvas(sine_canvas)) == 108
