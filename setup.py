@@ -1,6 +1,25 @@
 """Legacy setup shim: the container has setuptools but no `wheel`, so
-editable installs must go through `setup.py develop` (--no-use-pep517)."""
+editable installs must go through `setup.py develop` (--no-use-pep517).
 
-from setuptools import setup
+The ``package_data`` entries ship the ``.little`` language assets (the
+Prelude and the example corpus) in installed, non-editable mode — they are
+loaded at runtime through ``importlib.resources``.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-sketch-n-sketch",
+    version="1.0.0",
+    description=("Reproduction of 'Programmatic and Direct Manipulation, "
+                 "Together at Last' (PLDI 2016)"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={
+        "repro.lang": ["programs/*.little"],
+        "repro.examples": ["programs/*.little"],
+    },
+    include_package_data=True,
+    # slots=True dataclasses (values/trace layer) need 3.10+.
+    python_requires=">=3.10",
+)

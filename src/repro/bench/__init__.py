@@ -1,6 +1,9 @@
 """Measurement harness regenerating the paper's tables (§5.2, Appendix G)."""
 
 from .corpus import PreparedExample, prepare_corpus, prepare_example
+from .drag_latency import (DEFAULT_EXAMPLES as DRAG_LATENCY_EXAMPLES,
+                           DragLatencyRow, measure_drag_latency,
+                           median_speedup)
 from .equation_stats import (EquationTotals, PreEquation, equation_totals,
                              extract_pre_equations)
 from .interactivity import (InteractivityTotals, format_interactivity,
@@ -10,14 +13,16 @@ from .loc_stats import (LocStatsRow, LocTotals, corpus_loc_stats, loc_stats,
 from .perf import (OperationTimes, PerfRow, measure_corpus,
                    measure_example, measure_rows, measure_solve)
 from .report import (PAPER_EQUATION_TOTALS, PAPER_PERF_MS, PAPER_ZONE_TOTALS,
-                     format_equation_table, format_loc_rows,
-                     format_perf_rows, format_perf_table, format_zone_rows,
-                     format_zone_table)
+                     format_drag_latency_table, format_equation_table,
+                     format_loc_rows, format_perf_rows, format_perf_table,
+                     format_zone_rows, format_zone_table)
 from .zone_stats import (ZoneStatsRow, ZoneTotals, corpus_zone_stats,
                          zone_stats, zone_totals)
 
 __all__ = [
     "PreparedExample", "prepare_corpus", "prepare_example",
+    "DRAG_LATENCY_EXAMPLES", "DragLatencyRow", "measure_drag_latency",
+    "median_speedup", "format_drag_latency_table",
     "EquationTotals", "PreEquation", "equation_totals",
     "extract_pre_equations",
     "InteractivityTotals", "format_interactivity", "interactivity_stats",

@@ -1,0 +1,159 @@
+"""Drag-latency measurement: live-sync steps/sec, fast vs. naive.
+
+The paper's premise is that the run-solve-rerun loop feels instantaneous
+(§4.1, §5.2.3).  This module measures the throughput of a drag *gesture* —
+``start_drag`` followed by N cumulative mouse-move steps — along two
+implementations of the same loop:
+
+* **fast** — the shipped :class:`~repro.editor.session.LiveSession` path:
+  indexed substitution, Prelude caches, and guarded trace-driven
+  re-evaluation with full-eval fallback;
+* **naive** — the pre-optimization pipeline: rebuild the user AST, rebuild
+  the combined Prelude+user program, re-walk it for ρ0, re-evaluate the
+  whole ``ELet`` spine from scratch, and re-validate the canvas.
+
+Both paths are driven by the *same* trigger so they see identical mouse
+offsets, and a verification pass checks that they produce bit-identical
+outputs (values, traces, and rendered SVG) at every step.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from statistics import median
+from typing import List, Optional, Sequence, Tuple
+
+from ..editor.session import LiveSession
+from ..examples.registry import example_source
+from ..lang.ast import substitute
+from ..lang.eval import evaluate
+from ..lang.parser import collect_rho0
+from ..lang.program import Program
+from ..svg.canvas import Canvas
+from ..svg.render import render_canvas
+from ..trace.trace import trace_key
+
+#: Corpus examples exercised by the drag-latency benchmark: the running
+#: example, the smallest program, a case study, and progressively heavier
+#: canvases (group box + stars, FILL zones, slider, 80-polygon tiling).
+DEFAULT_EXAMPLES = (
+    "sine_wave_of_boxes",
+    "three_boxes",
+    "ferris_wheel",
+    "chicago_flag",
+    "color_wheel",
+    "n_boxes_slider",
+    "tessellation",
+)
+
+DEFAULT_STEPS = 60
+
+
+@dataclass(frozen=True)
+class DragLatencyRow:
+    name: str
+    steps: int
+    fast_sps: float        # steps per second, incremental session path
+    naive_sps: float       # steps per second, pre-optimization path
+    outputs_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.fast_sps / self.naive_sps if self.naive_sps else 0.0
+
+
+def _gesture(steps: int) -> List[Tuple[float, float]]:
+    """Deterministic cumulative offsets for one drag gesture."""
+    return [(float(i % 20), float((i * 3) % 11)) for i in range(steps)]
+
+
+def _start(name: str) -> LiveSession:
+    session = LiveSession(example_source(name))
+    key = next(iter(session.triggers))
+    session.start_drag(*key)
+    return session
+
+
+def _canvas_signature(canvas: Canvas) -> Tuple[str, tuple]:
+    rendered = render_canvas(canvas.root, include_hidden=True)
+    traces = tuple(trace_key(trace)
+                   for trace in canvas.all_numeric_traces())
+    return rendered, traces
+
+
+def _naive_step(base: Program, bindings) -> Canvas:
+    """One pre-optimization drag step: full rebuild, full re-evaluation."""
+    new_user = substitute(base.user_ast, bindings)
+    program = Program(new_user, source=base.source,
+                      with_prelude=base.with_prelude,
+                      prelude_frozen=base.prelude_frozen)
+    collect_rho0(program.ast)           # the seed constructor's full walk
+    value = evaluate(program.ast)       # full Prelude spine, no caches
+    return Canvas.from_value(value)
+
+
+def _verify_identical(name: str, steps: int) -> bool:
+    """Drive both paths through the same gesture; outputs must match
+    bit-for-bit (rendered SVG and trace structure) at every step."""
+    session = _start(name)
+    base = session._drag_base
+    for dx, dy in _gesture(steps):
+        result = session.drag(dx, dy)
+        if not result.bindings:
+            continue
+        naive_canvas = _naive_step(base, result.bindings)
+        if _canvas_signature(session.canvas) != \
+                _canvas_signature(naive_canvas):
+            session.release()
+            return False
+    session.release()
+    return True
+
+
+def _time_fast(name: str, steps: int) -> float:
+    session = _start(name)
+    offsets = _gesture(steps)
+    start = time.perf_counter()
+    for dx, dy in offsets:
+        session.drag(dx, dy)
+    elapsed = time.perf_counter() - start
+    session.release()
+    return steps / elapsed
+
+
+def _time_naive(name: str, steps: int) -> float:
+    session = _start(name)
+    base = session._drag_base
+    trigger = session._drag_trigger
+    offsets = _gesture(steps)
+    start = time.perf_counter()
+    for dx, dy in offsets:
+        result = trigger(dx, dy)
+        if result.bindings:
+            _naive_step(base, result.bindings)
+    elapsed = time.perf_counter() - start
+    session.release()
+    return steps / elapsed
+
+
+def measure_drag_latency(names: Optional[Sequence[str]] = None,
+                         steps: int = DEFAULT_STEPS,
+                         repeats: int = 2,
+                         verify: bool = True) -> List[DragLatencyRow]:
+    """Measure fast/naive drag throughput for each example.
+
+    Each path is timed ``repeats`` times and the best rate kept (drag
+    latency is a minimum-cost property; the OS noise only adds time).
+    """
+    rows: List[DragLatencyRow] = []
+    for name in names or DEFAULT_EXAMPLES:
+        identical = _verify_identical(name, steps) if verify else True
+        fast = max(_time_fast(name, steps) for _ in range(repeats))
+        naive = max(_time_naive(name, steps) for _ in range(repeats))
+        rows.append(DragLatencyRow(name, steps, fast, naive, identical))
+    return rows
+
+
+def median_speedup(rows: Sequence[DragLatencyRow]) -> float:
+    return median(row.speedup for row in rows)

@@ -116,6 +116,28 @@ def format_perf_table(times: Dict[str, OperationTimes]) -> str:
     return "\n".join(lines)
 
 
+def format_drag_latency_table(rows) -> str:
+    """Before/after table for the incremental live-sync hot path: drag
+    steps per second, naive (pre-optimization) vs. fast (incremental)."""
+    from .drag_latency import median_speedup
+
+    lines = [
+        "Drag latency: live-sync steps/sec over a "
+        f"{rows[0].steps if rows else 0}-step gesture",
+        f"{'Example':28s}{'naive/s':>10s}{'fast/s':>10s}{'speedup':>9s}"
+        f"{'identical':>11s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:28s}{row.naive_sps:>10.1f}{row.fast_sps:>10.1f}"
+            f"{row.speedup:>8.2f}x"
+            f"{'yes' if row.outputs_identical else 'NO':>11s}")
+    if rows:
+        lines.append(f"{'median speedup':28s}{'':>10s}{'':>10s}"
+                     f"{median_speedup(rows):>8.2f}x")
+    return "\n".join(lines)
+
+
 def format_perf_rows(rows) -> str:
     """Appendix G per-example timing table (median ms per operation)."""
     lines = [

@@ -22,8 +22,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..lang.ast import Loc
 from ..lang.errors import LittleError
+from ..lang.incremental import EvalCache, record_evaluation, reevaluate
 from ..lang.program import Program, parse_program
 from ..svg.canvas import Canvas
+from ..svg.node import rebuild_node
 from ..svg.render import render_canvas
 from ..trace.trace import locs
 from ..zones.assignment import CanvasAssignments, assign_canvas
@@ -71,13 +73,19 @@ class LiveSession:
         self._drag_base: Optional[Program] = None
         self._drag_trigger: Optional[MouseTrigger] = None
         self._last_result: Optional[TriggerResult] = None
+        self._eval_cache: Optional[EvalCache] = None
+        self._last_output = None
         self.run()
 
     # -- run / prepare ---------------------------------------------------------
 
     def run(self) -> None:
-        """Evaluate the current program and prepare for user actions."""
-        output = self.program.evaluate()
+        """Evaluate the current program and prepare for user actions.
+
+        The evaluation records control-flow guards so that subsequent drag
+        steps can re-run incrementally (trace-driven, §4.1)."""
+        output, self._eval_cache = record_evaluation(self.program)
+        self._last_output = output
         self.canvas = Canvas.from_value(output)
         self.prepare()
 
@@ -126,8 +134,22 @@ class LiveSession:
         self._last_result = result
         if result.bindings:
             self.program = self._drag_base.substitute(result.bindings)
-            output = self.program.evaluate()
-            self.canvas = Canvas.from_value(output)
+            output = None
+            if self._eval_cache is not None:
+                # Incremental fast path: same structure, new ρ — rebuild the
+                # output from traces, checking the recorded guards.
+                output = reevaluate(self._eval_cache, self.program.rho0)
+            if output is None:
+                # A guard flipped (or no cache): full run, re-record.
+                output, self._eval_cache = record_evaluation(self.program)
+                self.canvas = Canvas.from_value(output)
+            else:
+                # Same structure: rebuild the canvas in lockstep, sharing
+                # unchanged nodes and skipping re-validation.
+                self.canvas = Canvas(
+                    rebuild_node(self.canvas.root, self._last_output,
+                                 output))
+            self._last_output = output
         return result
 
     def release(self) -> None:

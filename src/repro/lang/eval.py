@@ -22,6 +22,13 @@ from ..trace.trace import OpTrace
 
 _MIN_RECURSION_LIMIT = 20000
 
+#: Active guard recorder (see :mod:`repro.lang.incremental`), or ``None``.
+#: When set, every value-dependent control-flow decision is recorded.
+_RECORDER = None
+
+
+_MISSING = object()
+
 
 class Env:
     """Environment as a parent-linked chain of small binding dicts."""
@@ -36,11 +43,9 @@ class Env:
     def lookup(self, name: str) -> Value:
         env: Optional[Env] = self
         while env is not None:
-            value = env.bindings.get(name)
-            if value is not None:
+            value = env.bindings.get(name, _MISSING)
+            if value is not _MISSING:
                 return value
-            if name in env.bindings:      # a binding whose value is None-like
-                return env.bindings[name]
             env = env.parent
         raise LittleRuntimeError(f"unbound variable {name!r}")
 
@@ -53,9 +58,11 @@ def match(pattern: Pattern, value: Value) -> Optional[Dict[str, Value]]:
     if isinstance(pattern, PVar):
         return {pattern.name: value}
     if isinstance(pattern, PNum):
-        if isinstance(value, VNum) and value.value == pattern.value:
-            return {}
-        return None
+        matched = isinstance(value, VNum) and value.value == pattern.value
+        if _RECORDER is not None and isinstance(value, VNum):
+            _RECORDER.num_matches.append(
+                (value.trace, pattern.value, matched))
+        return {} if matched else None
     if isinstance(pattern, PStr):
         if isinstance(value, VStr) and value.value == pattern.value:
             return {}
@@ -87,26 +94,103 @@ def evaluate(expr: Expr, env: Optional[Env] = None) -> Value:
     return _eval(expr, env if env is not None else Env())
 
 
+# Interned leaf values: little's nil and booleans are immutable and
+# traceless, so one instance of each serves every evaluation.
+_NIL = VNil()
+_TRUE = VBool(True)
+_FALSE = VBool(False)
+
+
+def _eval_str(expr: EStr, env: Env) -> Value:
+    cached = getattr(expr, "_vcache", None)
+    if cached is None:
+        cached = VStr(expr.value)
+        expr._vcache = cached
+    return cached
+
+
+def _eval_bool(expr: EBool, env: Env) -> Value:
+    return _TRUE if expr.value else _FALSE
+
+
+def _eval_nil(expr: ENil, env: Env) -> Value:
+    return _NIL
+
+
+def _eval_cons(expr: ECons, env: Env) -> Value:
+    # Evaluate the cons spine iteratively: list literals are long, and one
+    # Python frame per element costs more than the loop.
+    heads = []
+    node = expr
+    while type(node) is ECons:
+        heads.append(_eval(node.head, env))
+        node = node.tail
+    value = _eval(node, env)
+    for head in reversed(heads):
+        value = VCons(head, value)
+    return value
+
+
+def _eval_lambda(expr: ELambda, env: Env) -> Value:
+    return VClosure(expr.pattern, expr.body, env)
+
+
+#: Dispatch table for expression kinds that produce a value directly; the
+#: tail-callable kinds (let/app/case) and the hottest leaves (variables,
+#: numbers) are handled inline in the ``_eval`` loop instead.
+_LEAF_HANDLERS = {
+    EStr: _eval_str,
+    EBool: _eval_bool,
+    ENil: _eval_nil,
+    ECons: _eval_cons,
+    ELambda: _eval_lambda,
+}
+
+
 def _eval(expr: Expr, env: Env) -> Value:
     # A while-loop on `expr`/`env` implements tail calls for let bodies and
     # case branches, which keeps Python stack depth proportional to true
-    # (non-tail) recursion depth only.
+    # (non-tail) recursion depth only.  The hottest kinds (variable lookup,
+    # application, literals) are inlined ahead of the dispatch table.
     while True:
         kind = type(expr)
-        if kind is ENum:
-            return VNum(expr.value, expr.loc)
-        if kind is EStr:
-            return VStr(expr.value)
-        if kind is EBool:
-            return VBool(expr.value)
-        if kind is ENil:
-            return VNil()
         if kind is EVar:
-            return env.lookup(expr.name)
-        if kind is ECons:
-            return VCons(_eval(expr.head, env), _eval(expr.tail, env))
-        if kind is ELambda:
-            return VClosure(expr.pattern, expr.body, env)
+            name = expr.name
+            scope: Optional[Env] = env
+            while scope is not None:
+                value = scope.bindings.get(name, _MISSING)
+                if value is not _MISSING:
+                    return value
+                scope = scope.parent
+            raise LittleRuntimeError(f"unbound variable {name!r}")
+        if kind is EApp:
+            fn = _eval(expr.fn, env)
+            arg = _eval(expr.arg, env)
+            if type(fn) is not VClosure:
+                raise LittleRuntimeError(
+                    f"attempt to apply a non-function: {fn!r}")
+            pattern = fn.pattern
+            if type(pattern) is PVar:
+                env = Env({pattern.name: arg}, fn.env)
+            else:
+                bindings = match(pattern, arg)
+                if bindings is None:
+                    raise MatchFailure("function argument did not match "
+                                       "parameter pattern")
+                env = Env(bindings, fn.env)
+            expr = fn.body
+            continue
+        if kind is ENum:
+            # A literal's value/loc never change, so its VNum is interned
+            # on the node (substitution replaces the node, invalidating
+            # the cache naturally).
+            cached = getattr(expr, "_vcache", None)
+            if cached is None:
+                cached = VNum(expr.value, expr.loc)
+                expr._vcache = cached
+            return cached
+        if kind is EOp:
+            return _eval_op(expr, env)
         if kind is ELet:
             if expr.rec:
                 rec_env = env.child({})
@@ -124,19 +208,6 @@ def _eval(expr: Expr, env: Env) -> Value:
                 env = env.child(bindings)
             expr = expr.body
             continue
-        if kind is EApp:
-            fn = _eval(expr.fn, env)
-            arg = _eval(expr.arg, env)
-            if not isinstance(fn, VClosure):
-                raise LittleRuntimeError(
-                    f"attempt to apply a non-function: {fn!r}")
-            bindings = match(fn.pattern, arg)
-            if bindings is None:
-                raise MatchFailure("function argument did not match "
-                                   "parameter pattern")
-            expr = fn.body
-            env = fn.env.child(bindings)
-            continue
         if kind is ECase:
             scrutinee = _eval(expr.scrutinee, env)
             for pattern, branch in expr.branches:
@@ -148,41 +219,95 @@ def _eval(expr: Expr, env: Env) -> Value:
             else:
                 raise MatchFailure("no case branch matched")
             continue
-        if kind is EOp:
-            return _eval_op(expr, env)
+        handler = _LEAF_HANDLERS.get(kind)
+        if handler is not None:
+            return handler(expr, env)
         raise LittleRuntimeError(f"cannot evaluate {expr!r}")
+
+
+def _bool(flag: bool) -> VBool:
+    return _TRUE if flag else _FALSE
 
 
 def _eval_op(expr: EOp, env: Env) -> Value:
     op = expr.op
-    args = [_eval(arg, env) for arg in expr.args]
+    operands = expr.args
+    # Arity-specialized operand evaluation: no intermediate list building
+    # or re-scanning on the binary/unary hot paths (E-OP-NUM fires once per
+    # arithmetic node per re-evaluation, so this is the innermost loop).
+    if len(operands) == 2:
+        a = _eval(operands[0], env)
+        b = _eval(operands[1], env)
+        if type(a) is VNum and type(b) is VNum:
+            av = a.value
+            bv = b.value
+            if op == "+":
+                return VNum(av + bv, OpTrace("+", (a.trace, b.trace)))
+            if op == "-":
+                return VNum(av - bv, OpTrace("-", (a.trace, b.trace)))
+            if op == "*":
+                return VNum(av * bv, OpTrace("*", (a.trace, b.trace)))
+            if op == "<":
+                outcome = av < bv
+                if _RECORDER is not None:
+                    _RECORDER.comparisons.append(
+                        ("<", a.trace, b.trace, outcome))
+                return _TRUE if outcome else _FALSE
+            if op in NUMERIC_OPS:
+                result = apply_numeric_op(op, (av, bv))
+                return VNum(result, OpTrace(op, (a.trace, b.trace)))
+        args = (a, b)
+    elif len(operands) == 1:
+        a = _eval(operands[0], env)
+        if type(a) is VNum and op in NUMERIC_OPS:
+            result = apply_numeric_op(op, (a.value,))
+            return VNum(result, OpTrace(op, (a.trace,)))
+        args = (a,)
+    else:
+        args = tuple(_eval(arg, env) for arg in operands)
 
-    if all(isinstance(arg, VNum) for arg in args):
+    all_nums = True
+    for arg in args:
+        if type(arg) is not VNum:
+            all_nums = False
+            break
+
+    if all_nums:
         if op in NUMERIC_OPS:
             # E-OP-NUM: compute the number and build the expression trace.
             result = apply_numeric_op(op, [arg.value for arg in args])
             return VNum(result, OpTrace(op, tuple(arg.trace for arg in args)))
-        if op == "=":
-            return VBool(args[0].value == args[1].value)
-        if op == "<":
-            return VBool(args[0].value < args[1].value)
-        if op == ">":
-            return VBool(args[0].value > args[1].value)
-        if op == "<=":
-            return VBool(args[0].value <= args[1].value)
-        if op == ">=":
-            return VBool(args[0].value >= args[1].value)
+        if op in ("=", "<", ">", "<=", ">="):
+            left = args[0]
+            right = args[1]
+            if op == "=":
+                outcome = left.value == right.value
+            elif op == "<":
+                outcome = left.value < right.value
+            elif op == ">":
+                outcome = left.value > right.value
+            elif op == "<=":
+                outcome = left.value <= right.value
+            else:
+                outcome = left.value >= right.value
+            if _RECORDER is not None:
+                _RECORDER.comparisons.append(
+                    (op, left.trace, right.trace, outcome))
+            return _bool(outcome)
         if op == "toString":
-            return VStr(format_number(args[0].value))
+            rendered = format_number(args[0].value)
+            if _RECORDER is not None:
+                _RECORDER.tostrings.append((args[0].trace, rendered))
+            return VStr(rendered)
 
     if op == "not" and isinstance(args[0], VBool):
-        return VBool(not args[0].value)
+        return _bool(not args[0].value)
     if op == "+" and isinstance(args[0], VStr) and isinstance(args[1], VStr):
         return VStr(args[0].value + args[1].value)
     if op == "=" and isinstance(args[0], VStr) and isinstance(args[1], VStr):
-        return VBool(args[0].value == args[1].value)
+        return _bool(args[0].value == args[1].value)
     if op == "=" and isinstance(args[0], VBool) and isinstance(args[1], VBool):
-        return VBool(args[0].value == args[1].value)
+        return _bool(args[0].value == args[1].value)
     if op == "toString":
         if isinstance(args[0], VStr):
             return args[0]

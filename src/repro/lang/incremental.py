@@ -1,0 +1,172 @@
+"""Guarded trace-driven re-evaluation — the drag-loop fast path (§4.1).
+
+During live synchronization the program *structure* is fixed; a mouse-move
+only changes the substitution ρ.  Every number in the output carries a
+trace, and its value is exactly ``ρt`` (the property tested by
+``test_rho0_reproduces_output_values``).  So instead of re-running the
+whole program per mouse-move, we can:
+
+1. run the program **once**, recording every place where a *value*
+   influenced *control flow* — numeric comparisons, ``toString`` on
+   numbers, and numeric-literal pattern matches — together with the
+   operand traces and observed outcomes (the *guards*);
+2. on each subsequent ρ, check that every guard evaluates to the same
+   outcome.  If so, the re-run is guaranteed to take the same path, and
+   the new output is the old output with each numeric leaf replaced by
+   ``ρt`` of its (unchanged) trace;
+3. if any guard flips (a clamp saturates, a branch changes, a list length
+   would differ), fall back to a full evaluation and re-record.
+
+The rebuilt values are bit-identical to a from-scratch evaluation: the
+trace records the exact float-operation tree the evaluator would execute.
+
+Limitations (by construction): a number that is computed but feeds neither
+the output nor any guard is not re-evaluated, so a domain error hiding in
+dead arithmetic would not abort an incremental step.  Guards are
+conservative everywhere control flow can observe a number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .ast import Loc
+from .errors import LittleRuntimeError
+from .ops import apply_numeric_op
+from .values import (VBool, VCons, VNum, VStr, Value, format_number)
+
+__all__ = ["EvalCache", "record_evaluation", "reevaluate"]
+
+
+class Recorder:
+    """Collects guards during one full evaluation."""
+
+    __slots__ = ("comparisons", "tostrings", "num_matches")
+
+    def __init__(self):
+        # (op, left trace, right trace, outcome)
+        self.comparisons: List[Tuple[str, object, object, bool]] = []
+        # (trace, rendered string)
+        self.tostrings: List[Tuple[object, str]] = []
+        # (trace, pattern value, matched?)
+        self.num_matches: List[Tuple[object, float, bool]] = []
+
+
+class EvalCache:
+    """A recorded run: the output value plus the guards that pin down its
+    control flow.  Valid for any ρ under which every guard holds."""
+
+    __slots__ = ("output", "comparisons", "tostrings", "num_matches")
+
+    def __init__(self, output: Value, recorder: Recorder):
+        self.output = output
+        self.comparisons = recorder.comparisons
+        self.tostrings = recorder.tostrings
+        self.num_matches = recorder.num_matches
+
+
+def record_evaluation(program) -> Tuple[Value, EvalCache]:
+    """Fully evaluate ``program`` while recording control-flow guards."""
+    from . import eval as eval_module
+
+    recorder = Recorder()
+    previous = eval_module._RECORDER
+    eval_module._RECORDER = recorder
+    try:
+        output = program.evaluate()
+    finally:
+        eval_module._RECORDER = previous
+    return output, EvalCache(output, recorder)
+
+
+def _trace_value(trace, rho: Dict[int, float], memo: Dict[int, float]
+                 ) -> float:
+    """``ρt`` with sharing: identical trace nodes evaluate once per step.
+
+    ``rho`` is keyed by ``loc.ident`` (plain ints hash at C speed; ``Loc``
+    hashing is a Python-level call on this innermost path).  The binary
+    arithmetic cases are inlined for the same reason.
+    """
+    if type(trace) is Loc:
+        return rho[trace.ident]
+    key = id(trace)
+    value = memo.get(key)
+    if value is not None:
+        return value
+    args = trace.args
+    if len(args) == 2:
+        left = _trace_value(args[0], rho, memo)
+        right = _trace_value(args[1], rho, memo)
+        op = trace.op
+        if op == "+":
+            value = left + right
+        elif op == "-":
+            value = left - right
+        elif op == "*":
+            value = left * right
+        else:
+            value = apply_numeric_op(op, (left, right))
+    elif len(args) == 1:
+        value = apply_numeric_op(trace.op,
+                                 (_trace_value(args[0], rho, memo),))
+    else:
+        value = apply_numeric_op(
+            trace.op, [_trace_value(arg, rho, memo) for arg in args])
+    memo[key] = value
+    return value
+
+
+def _compare(op: str, left: float, right: float) -> bool:
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    if op == ">=":
+        return left >= right
+    return left == right        # "="
+
+
+def _rebuild(value: Value, rho: Dict[Loc, float],
+             memo: Dict[int, float]) -> Value:
+    """The old output with numeric leaves recomputed under ρ; unchanged
+    subtrees are returned as-is (identity-shared)."""
+    kind = type(value)
+    if kind is VNum:
+        new_value = _trace_value(value.trace, rho, memo)
+        if new_value == value.value:
+            return value
+        return VNum(new_value, value.trace)
+    if kind is VCons:
+        head = _rebuild(value.head, rho, memo)
+        tail = _rebuild(value.tail, rho, memo)
+        if head is value.head and tail is value.tail:
+            return value
+        return VCons(head, tail)
+    return value
+
+
+def reevaluate(cache: EvalCache, rho: Dict[Loc, float]) -> Optional[Value]:
+    """Re-run the recorded evaluation under a new ρ.
+
+    Returns the new output value — bit-identical to a from-scratch
+    evaluation — or ``None`` when some guard no longer holds (the caller
+    must fall back to a full evaluation).
+    """
+    rho = {loc.ident: value for loc, value in rho.items()}
+    memo: Dict[int, float] = {}
+    try:
+        for op, left, right, expected in cache.comparisons:
+            if _compare(op, _trace_value(left, rho, memo),
+                        _trace_value(right, rho, memo)) != expected:
+                return None
+        for trace, rendered in cache.tostrings:
+            if format_number(_trace_value(trace, rho, memo)) != rendered:
+                return None
+        for trace, pattern_value, expected in cache.num_matches:
+            if (_trace_value(trace, rho, memo) == pattern_value) != expected:
+                return None
+        return _rebuild(cache.output, rho, memo)
+    except (KeyError, LittleRuntimeError, RecursionError):
+        return None

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import importlib.resources
 from functools import lru_cache
-from typing import List, Tuple
+from typing import Dict, Tuple
 
-from .ast import Expr, Pattern
+from .ast import Expr, Loc, Pattern, iter_numbers
 from .parser import parse_definition_sequence
 
 Binding = Tuple[Pattern, Expr, bool]
@@ -32,3 +32,44 @@ def prelude_bindings(frozen: bool = True) -> Tuple[Binding, ...]:
     """The Prelude as a tuple of (pattern, expr, recursive) bindings."""
     return tuple(parse_definition_sequence(
         prelude_source(), auto_freeze=frozen, in_prelude=True))
+
+
+@lru_cache(maxsize=2)
+def prelude_env(frozen: bool = True):
+    """The Prelude evaluated once per freeze mode into a single flat
+    environment (the live-sync fast path of §5.2.3: Prelude values never
+    change during a drag, so re-evaluating the ``ELet`` spine on every
+    mouse-move is pure waste).
+
+    All bindings land in one shared dict: each definition is evaluated in
+    the environment-so-far, exactly as the nested-let spine would, and
+    closures capture the flat env so recursive definitions see themselves.
+    The returned env is treated as read-only; callers evaluate user code
+    in child environments.
+    """
+    from .errors import MatchFailure
+    from .eval import Env, _eval, match
+
+    base = Env()
+    for pattern, bound, _rec in prelude_bindings(frozen):
+        value = _eval(bound, base)
+        bindings = match(pattern, value)
+        if bindings is None:
+            raise MatchFailure("prelude binding did not match its pattern")
+        base.bindings.update(bindings)
+    return base
+
+
+@lru_cache(maxsize=2)
+def prelude_rho0(frozen: bool = True) -> Dict[Loc, float]:
+    """ρ0 restricted to Prelude literals, computed once per freeze mode.
+
+    Program construction merges this with the user program's ρ0 instead of
+    re-walking the combined Prelude+user AST every time.  Callers must not
+    mutate the returned dict.
+    """
+    rho0: Dict[Loc, float] = {}
+    for _pattern, bound, _rec in prelude_bindings(frozen):
+        for num in iter_numbers(bound):
+            rho0[num.loc] = num.value
+    return rho0

@@ -3,16 +3,30 @@
 A :class:`Program` bundles the parsed user AST, the Prelude, the combined
 expression that actually evaluates, and ρ0 — "the substitution that records
 location-value mappings from the source program" (§2.1).
+
+The live-sync hot path (drag → substitute → evaluate, §4.1) is incremental:
+
+* the Prelude is evaluated **once** per freeze mode into a cached
+  environment (:func:`~repro.lang.prelude.prelude_env`), so ``evaluate``
+  only runs the user AST;
+* Prelude ρ0 is computed once and merged by dict-update instead of
+  re-walking the combined AST in the constructor;
+* ``substitute`` maintains a ``Loc → ENum`` index over the user AST and
+  shares every unmodified subtree copy-on-write.
+
+Substituting a Prelude location (possible when ``prelude_frozen=False``)
+leaves the shared caches untouched: such programs carry their own combined
+AST and evaluate it from scratch.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from .ast import ELet, Expr, Loc, iter_numbers, substitute
-from .eval import evaluate
+from .ast import ELet, ENum, Expr, Loc, iter_numbers, substitute
+from .eval import Env, evaluate
 from .parser import collect_rho0, parse_top_level
-from .prelude import prelude_bindings
+from .prelude import prelude_bindings, prelude_env, prelude_rho0
 from .unparser import unparse
 from .values import Value
 
@@ -20,43 +34,103 @@ from .values import Value
 class Program:
     """A parsed little program, ready to evaluate and synthesize against."""
 
+    __slots__ = ("user_ast", "source", "with_prelude", "prelude_frozen",
+                 "rho0", "_ast", "_num_index", "_prelude_modified")
+
     def __init__(self, user_ast: Expr, *, source: str = "",
                  with_prelude: bool = True, prelude_frozen: bool = True):
         self.user_ast = user_ast
         self.source = source
         self.with_prelude = with_prelude
         self.prelude_frozen = prelude_frozen
+        self._ast: Optional[Expr] = None
+        self._num_index: Optional[Dict[Loc, ENum]] = None
+        self._prelude_modified = False
         if with_prelude:
-            ast = user_ast
-            for pattern, bound, rec in reversed(
-                    prelude_bindings(prelude_frozen)):
-                ast = ELet(pattern, bound, ast, rec=rec, from_def=True)
-            self.ast = ast
+            self.rho0 = dict(prelude_rho0(prelude_frozen))
+            self.rho0.update(collect_rho0(user_ast))
         else:
-            self.ast = user_ast
-        self.rho0: Dict[Loc, float] = collect_rho0(self.ast)
+            self.rho0 = collect_rho0(user_ast)
+
+    # -- the combined AST (built lazily; the fast paths never need it) ---------
+
+    @property
+    def ast(self) -> Expr:
+        """User AST wrapped in the Prelude's ``ELet`` spine."""
+        if self._ast is None:
+            if self.with_prelude:
+                ast = self.user_ast
+                for pattern, bound, rec in reversed(
+                        prelude_bindings(self.prelude_frozen)):
+                    ast = ELet(pattern, bound, ast, rec=rec, from_def=True)
+                self._ast = ast
+            else:
+                self._ast = self.user_ast
+        return self._ast
+
+    def _index(self) -> Dict[Loc, ENum]:
+        """Loc → ENum index over the user AST (parse order preserved)."""
+        if self._num_index is None:
+            self._num_index = {num.loc: num
+                               for num in iter_numbers(self.user_ast)}
+        return self._num_index
 
     # -- core operations -----------------------------------------------------
 
-    def evaluate(self) -> Value:
-        return evaluate(self.ast)
+    def evaluate(self, *, naive: bool = False) -> Value:
+        """Evaluate the program.
+
+        The fast path runs only the user AST in the cached Prelude
+        environment; ``naive=True`` forces the from-scratch evaluation of
+        the full combined ``ELet`` spine (used by benchmarks and as the
+        fallback once Prelude literals have been substituted).
+        """
+        if naive or self._prelude_modified or not self.with_prelude:
+            return evaluate(self.ast)
+        return evaluate(self.user_ast, prelude_env(self.prelude_frozen))
 
     def substitute(self, rho: Dict[Loc, float]) -> "Program":
         """Apply a local update ρ, yielding the new program ρe (§2.2)."""
-        new_user = substitute(self.user_ast, rho)
         touches_prelude = any(loc.in_prelude for loc in rho)
-        if not touches_prelude and self.with_prelude:
-            # Fast path: rebuild only the user portion; the Prelude spine is
-            # reconstructed from the shared cached bindings.
-            return Program(new_user, source=self.source,
-                           with_prelude=True,
-                           prelude_frozen=self.prelude_frozen)
+        if touches_prelude or self._prelude_modified or not self.with_prelude:
+            return self._substitute_full(rho)
+        # Fast path: ρ only touches user literals.  Use the Loc → ENum
+        # index to drop no-op entries, rewrite the user AST copy-on-write,
+        # and update rho0/index by dict-merge — the Prelude is never walked.
+        index = self._index()
+        effective = {loc: value for loc, value in rho.items()
+                     if loc in index}
+        replaced: Dict[Loc, ENum] = {}
+        new_user = substitute(self.user_ast, effective, collect=replaced)
         program = Program.__new__(Program)
         program.user_ast = new_user
         program.source = self.source
         program.with_prelude = self.with_prelude
         program.prelude_frozen = self.prelude_frozen
-        program.ast = substitute(self.ast, rho)
+        program._ast = None
+        program._prelude_modified = False
+        program.rho0 = dict(self.rho0)
+        program.rho0.update(effective)
+        new_index = dict(index)
+        new_index.update(replaced)
+        program._num_index = new_index
+        return program
+
+    def _substitute_full(self, rho: Dict[Loc, float]) -> "Program":
+        """Slow path: ρ may touch Prelude literals, so the combined AST is
+        rewritten and the program stops relying on the shared caches."""
+        program = Program.__new__(Program)
+        program.user_ast = substitute(self.user_ast, rho)
+        program.source = self.source
+        program.with_prelude = self.with_prelude
+        program.prelude_frozen = self.prelude_frozen
+        if self.with_prelude:
+            program._ast = substitute(self.ast, rho)
+            program._prelude_modified = True
+        else:
+            program._ast = program.user_ast
+            program._prelude_modified = False
+        program._num_index = None
         program.rho0 = dict(self.rho0)
         program.rho0.update(rho)
         return program
@@ -70,13 +144,13 @@ class Program:
 
     def user_locs(self):
         """Locations of literals in the user program (not the Prelude)."""
-        return [num.loc for num in iter_numbers(self.user_ast)]
+        return list(self._index())
 
     def range_annotations(self):
         """(loc, lo, hi, current) for every range-annotated literal — the
         built-in sliders of §2.4."""
         sliders = []
-        for num in iter_numbers(self.user_ast):
+        for num in self._index().values():
             if num.range_ann is not None:
                 lo, hi = num.range_ann
                 sliders.append((num.loc, lo, hi, num.value))

@@ -14,31 +14,64 @@ from .ast import Expr, Pattern
 from ..trace.trace import Trace
 
 
-@dataclass(frozen=True)
 class VNum:
-    value: float
-    trace: Trace
+    """A number with its trace.  Hand-written (not a dataclass): VNum is
+    constructed on the innermost evaluation path, and a plain ``__init__``
+    beats the frozen-dataclass ``object.__setattr__`` protocol.  Treated
+    as immutable by convention; equality/hash match the dataclass form."""
+
+    __slots__ = ("value", "trace")
+
+    def __init__(self, value: float, trace: Trace):
+        self.value = value
+        self.trace = trace
+
+    def __eq__(self, other):
+        if type(other) is not VNum:
+            return NotImplemented
+        return self.value == other.value and self.trace == other.trace
+
+    def __hash__(self):
+        return hash((self.value, self.trace))
+
+    def __repr__(self):
+        return f"VNum(value={self.value!r}, trace={self.trace!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VStr:
     value: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VBool:
     value: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VNil:
     pass
 
 
-@dataclass(frozen=True)
 class VCons:
-    head: "Value"
-    tail: "Value"
+    """A cons cell, hand-written for the same reason as :class:`VNum`."""
+
+    __slots__ = ("head", "tail")
+
+    def __init__(self, head: "Value", tail: "Value"):
+        self.head = head
+        self.tail = tail
+
+    def __eq__(self, other):
+        if type(other) is not VCons:
+            return NotImplemented
+        return self.head == other.head and self.tail == other.tail
+
+    def __hash__(self):
+        return hash((self.head, self.tail))
+
+    def __repr__(self):
+        return f"VCons(head={self.head!r}, tail={self.tail!r})"
 
 
 class VClosure:

@@ -89,6 +89,41 @@ def value_to_node(value: Value, path: str = "root") -> SvgNode:
     return SvgNode(kind, attrs, children)
 
 
+def rebuild_node(node: SvgNode, old_value: Value,
+                 new_value: Value) -> SvgNode:
+    """Rebuild a validated node for a *structurally identical* new value.
+
+    This is the incremental drag path: ``new_value`` came out of
+    :func:`repro.lang.incremental.reevaluate`, which only swaps numeric
+    leaves inside the structure ``node`` was built (and validated) from,
+    sharing every unchanged subtree by identity.  Unchanged subtrees map
+    to the existing nodes; changed ones are rebuilt without re-validation.
+    """
+    if new_value is old_value:
+        return node
+    old_parts = to_pylist(old_value)
+    new_parts = to_pylist(new_value)
+    old_attrs_value = old_parts[1]
+    new_attrs_value = new_parts[1]
+    if new_attrs_value is old_attrs_value:
+        attrs = node.attrs
+    else:
+        attrs = [(name, to_pylist(new_pair)[1])
+                 for (name, _), new_pair in zip(node.attrs,
+                                                to_pylist(new_attrs_value))]
+    old_children_value = old_parts[2]
+    new_children_value = new_parts[2]
+    if new_children_value is old_children_value:
+        children = node.children
+    else:
+        children = [
+            rebuild_node(child, old_child, new_child)
+            for child, old_child, new_child in zip(
+                node.children, to_pylist(old_children_value),
+                to_pylist(new_children_value))]
+    return SvgNode(node.kind, attrs, children)
+
+
 def parse_canvas(value: Value) -> SvgNode:
     """Convert a program's output into its canvas node, checking the §2
     requirement that the result has kind 'svg'."""

@@ -16,7 +16,7 @@ from ..lang.ast import Loc
 from ..lang.ops import apply_numeric_op
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpTrace:
     op: str
     args: Tuple["Trace", ...]
