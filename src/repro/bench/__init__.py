@@ -2,8 +2,10 @@
 
 from .corpus import PreparedExample, prepare_corpus, prepare_example
 from .drag_latency import (DEFAULT_EXAMPLES as DRAG_LATENCY_EXAMPLES,
-                           DragLatencyRow, measure_drag_latency,
-                           median_speedup)
+                           RELEASE_EXAMPLES, DragLatencyRow,
+                           ReleaseLatencyRow, measure_drag_latency,
+                           measure_release_latency, median_release_speedup,
+                           median_speedup, naive_prepare, prepare_equal)
 from .equation_stats import (EquationTotals, PreEquation, equation_totals,
                              extract_pre_equations)
 from .interactivity import (InteractivityTotals, format_interactivity,
@@ -15,7 +17,8 @@ from .perf import (OperationTimes, PerfRow, measure_corpus,
 from .report import (PAPER_EQUATION_TOTALS, PAPER_PERF_MS, PAPER_ZONE_TOTALS,
                      format_drag_latency_table, format_equation_table,
                      format_loc_rows, format_perf_rows, format_perf_table,
-                     format_zone_rows, format_zone_table)
+                     format_release_latency_table, format_zone_rows,
+                     format_zone_table)
 from .zone_stats import (ZoneStatsRow, ZoneTotals, corpus_zone_stats,
                          zone_stats, zone_totals)
 
@@ -23,6 +26,9 @@ __all__ = [
     "PreparedExample", "prepare_corpus", "prepare_example",
     "DRAG_LATENCY_EXAMPLES", "DragLatencyRow", "measure_drag_latency",
     "median_speedup", "format_drag_latency_table",
+    "RELEASE_EXAMPLES", "ReleaseLatencyRow", "measure_release_latency",
+    "median_release_speedup", "naive_prepare", "prepare_equal",
+    "format_release_latency_table",
     "EquationTotals", "PreEquation", "equation_totals",
     "extract_pre_equations",
     "InteractivityTotals", "format_interactivity", "interactivity_stats",

@@ -5,10 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..core.pipeline import SyncPipeline
 from ..examples.registry import example_names, example_source, load_example
 from ..lang.program import Program
 from ..svg.canvas import Canvas
-from ..zones.assignment import CanvasAssignments, assign_canvas
+from ..zones.assignment import CanvasAssignments
 
 
 @dataclass
@@ -30,10 +31,12 @@ class PreparedExample:
 
 
 def prepare_example(name: str, heuristic: str = "fair") -> PreparedExample:
-    program = load_example(name)
-    canvas = Canvas.from_value(program.evaluate())
-    assignments = assign_canvas(canvas, heuristic)
-    return PreparedExample(name, program, canvas, assignments)
+    pipeline = SyncPipeline(load_example(name), heuristic=heuristic,
+                            record=False)
+    pipeline.run_stage()
+    assignments = pipeline.assign_stage()
+    return PreparedExample(name, pipeline.program, pipeline.canvas,
+                           assignments)
 
 
 def prepare_corpus(names: Optional[List[str]] = None,

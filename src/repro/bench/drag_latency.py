@@ -1,20 +1,24 @@
-"""Drag-latency measurement: live-sync steps/sec, fast vs. naive.
+"""Drag- and release-latency measurement: live-sync throughput, fast vs naive.
 
 The paper's premise is that the run-solve-rerun loop feels instantaneous
-(§4.1, §5.2.3).  This module measures the throughput of a drag *gesture* —
-``start_drag`` followed by N cumulative mouse-move steps — along two
-implementations of the same loop:
+(§4.1, §5.2.3).  This module measures both halves of that loop:
 
-* **fast** — the shipped :class:`~repro.editor.session.LiveSession` path:
-  indexed substitution, Prelude caches, and guarded trace-driven
-  re-evaluation with full-eval fallback;
-* **naive** — the pre-optimization pipeline: rebuild the user AST, rebuild
-  the combined Prelude+user program, re-walk it for ρ0, re-evaluate the
-  whole ``ELet`` spine from scratch, and re-validate the canvas.
+* the throughput of a drag *gesture* — ``start_drag`` followed by N
+  cumulative mouse-move steps — along the incremental session path
+  (indexed substitution, Prelude caches, guarded trace-driven
+  re-evaluation) versus the pre-optimization pipeline (rebuild the user
+  AST, rebuild the combined Prelude+user program, re-walk it for ρ0,
+  re-evaluate the whole ``ELet`` spine from scratch, re-validate the
+  canvas);
+* the throughput of the *release* — the Prepare operation ("we compute new
+  shape assignments and mouse triggers", §4.1) — along the change-set-driven
+  incremental pipeline (:mod:`repro.core.pipeline`) versus a from-scratch
+  ``assign_canvas`` + ``compute_triggers`` + ``collect_sliders``.
 
-Both paths are driven by the *same* trigger so they see identical mouse
-offsets, and a verification pass checks that they produce bit-identical
-outputs (values, traces, and rendered SVG) at every step.
+Both comparisons drive the two paths through *identical* inputs, and a
+verification pass checks bit-identical results at every step (rendered SVG
+and traces for drags; assignments, triggers, sliders and hover data for
+releases).
 """
 
 from __future__ import annotations
@@ -22,8 +26,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from statistics import median
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.pipeline import SyncPipeline
+from ..core.sliders import collect_sliders
 from ..editor.session import LiveSession
 from ..examples.registry import example_source
 from ..lang.ast import substitute
@@ -33,6 +39,8 @@ from ..lang.program import Program
 from ..svg.canvas import Canvas
 from ..svg.render import render_canvas
 from ..trace.trace import trace_key
+from ..zones.assignment import assign_canvas
+from ..zones.triggers import compute_triggers
 
 #: Corpus examples exercised by the drag-latency benchmark: the running
 #: example, the smallest program, a case study, and progressively heavier
@@ -156,4 +164,127 @@ def measure_drag_latency(names: Optional[Sequence[str]] = None,
 
 
 def median_speedup(rows: Sequence[DragLatencyRow]) -> float:
+    return median(row.speedup for row in rows)
+
+
+# ---------------------------------------------------------------------------
+# Release latency: incremental vs from-scratch Prepare
+# ---------------------------------------------------------------------------
+
+#: Multi-shape examples where Prepare cost grows with zone count
+#: (Appendix G): the flagship 80-polygon tiling, the §6.2 case study, and
+#: the group-box + nStar flag.
+RELEASE_EXAMPLES = (
+    "tessellation",
+    "ferris_wheel",
+    "chicago_flag",
+)
+
+DEFAULT_RELEASES = 12
+DEFAULT_RELEASE_STEPS = 5
+
+
+@dataclass(frozen=True)
+class ReleaseLatencyRow:
+    name: str
+    releases: int
+    fast_rps: float        # Prepares per second, incremental pipeline
+    naive_rps: float       # Prepares per second, from-scratch path
+    outputs_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.fast_rps / self.naive_rps if self.naive_rps else 0.0
+
+
+def naive_prepare(pipeline: SyncPipeline):
+    """The from-scratch Prepare: what every ``release()`` cost before the
+    change-set-driven pipeline.  Returns (assignments, triggers, sliders)."""
+    assignments = assign_canvas(pipeline.canvas, pipeline.heuristic)
+    triggers = compute_triggers(pipeline.canvas, assignments,
+                                pipeline.program.rho0)
+    sliders = collect_sliders(pipeline.program)
+    return assignments, triggers, sliders
+
+
+def _trigger_state(trigger) -> tuple:
+    """Structural snapshot of one trigger: the pre-read features with the
+    trace compared by structure, plus the (shared) ρ."""
+    return tuple((feature, loc, value, trace_key(trace))
+                 for feature, loc, value, trace in trigger._features)
+
+
+def prepare_equal(pipeline: SyncPipeline, assignments, triggers,
+                  sliders) -> bool:
+    """Is the pipeline's (incrementally maintained) Prepare state equal to
+    a from-scratch one?  Compares analyses, chosen assignments, triggers
+    (features and ρ), sliders, and per-zone hover data."""
+    ours = pipeline.assignments
+    if ours.analyses != assignments.analyses:
+        return False
+    if ours.chosen != assignments.chosen:
+        return False
+    if set(pipeline.triggers) != set(triggers):
+        return False
+    for key, trigger in triggers.items():
+        mine = pipeline.triggers[key]
+        if _trigger_state(mine) != _trigger_state(trigger):
+            return False
+        if mine.rho != trigger.rho:
+            return False
+    if pipeline.sliders != sliders:
+        return False
+    for analysis in assignments.analyses:
+        key = (analysis.zone.shape_index, analysis.zone.name)
+        if ours.hover_data(*key) != assignments.hover_data(*key):
+            return False
+    return True
+
+
+def _release_gesture(session: LiveSession, start: int, steps: int) -> None:
+    """One short drag gesture ending just before the release."""
+    key = next(iter(session.triggers))
+    session.start_drag(*key)
+    for i in range(steps):
+        session.drag(float((start + i) % 17), float((start + 2 * i) % 13))
+
+
+def measure_release_latency(names: Optional[Sequence[str]] = None,
+                            releases: int = DEFAULT_RELEASES,
+                            steps: int = DEFAULT_RELEASE_STEPS,
+                            verify: bool = True
+                            ) -> List[ReleaseLatencyRow]:
+    """Measure incremental vs from-scratch Prepare throughput per example.
+
+    Each gesture is dragged along the session's fast path; at the release
+    the incremental ``pipeline.prepare(change)`` is timed against a
+    from-scratch Prepare on the *same* program/canvas state, and (when
+    ``verify``) the two resulting states are checked for equality —
+    assignments, triggers, sliders and hover data.
+    """
+    rows: List[ReleaseLatencyRow] = []
+    for name in names or RELEASE_EXAMPLES:
+        session = LiveSession(example_source(name))
+        fast_time = 0.0
+        naive_time = 0.0
+        identical = True
+        for round_index in range(releases):
+            _release_gesture(session, round_index, steps)
+            start = time.perf_counter()
+            session.release()
+            fast_time += time.perf_counter() - start
+            start = time.perf_counter()
+            state = naive_prepare(session.pipeline)
+            naive_time += time.perf_counter() - start
+            if verify and not prepare_equal(session.pipeline, *state):
+                identical = False
+        rows.append(ReleaseLatencyRow(
+            name, releases,
+            releases / fast_time if fast_time else 0.0,
+            releases / naive_time if naive_time else 0.0,
+            identical))
+    return rows
+
+
+def median_release_speedup(rows: Sequence[ReleaseLatencyRow]) -> float:
     return median(row.speedup for row in rows)

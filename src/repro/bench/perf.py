@@ -19,13 +19,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
+from ..core.pipeline import SyncPipeline
 from ..examples.registry import example_source
 from ..lang.errors import SolverFailure
 from ..lang.parser import parse_top_level
-from ..svg.canvas import Canvas
 from ..synthesis.solver import solve_one
-from ..zones.assignment import assign_canvas
-from ..zones.triggers import compute_triggers
 from .corpus import PreparedExample
 from .equation_stats import extract_pre_equations
 
@@ -63,23 +61,28 @@ def _timed(fn: Callable[[], object]) -> float:
 
 def measure_example(example: PreparedExample, runs: int = 3
                     ) -> Dict[str, OperationTimes]:
-    """Time Parse/Eval/Prepare ``runs`` times for one prepared example."""
+    """Time Parse/Eval/Prepare ``runs`` times for one prepared example.
+
+    Each operation is one stage of the shared core pipeline, timed
+    from scratch (no change-set carried between runs): Eval is the
+    evaluation half of the Run stage (the canvas build stays outside the
+    timed region, as in the paper's operation split), and Prepare, per
+    §5.2.3, covers shape assignments + mouse triggers.
+    """
     source = example_source(example.name)
     times = {op: OperationTimes(op) for op in ("parse", "eval", "prepare")}
     program = example.program
     for _ in range(runs):
         times["parse"].record(_timed(lambda: parse_top_level(source)))
-        value_box = []
-        times["eval"].record(
-            _timed(lambda: value_box.append(program.evaluate())))
-        # Prepare, per §5.2.3, covers only shape assignments + mouse
-        # triggers — reuse the value produced by the Eval measurement so
-        # the timed region does not silently include another full Eval.
-        canvas = Canvas.from_value(value_box[0])
+        pipeline = SyncPipeline(program,
+                                heuristic=example.assignments.heuristic,
+                                record=False)
+        times["eval"].record(_timed(pipeline.eval_stage))
+        pipeline.canvas_stage()
 
         def do_prepare():
-            assignments = assign_canvas(canvas)
-            compute_triggers(canvas, assignments, program.rho0)
+            pipeline.assign_stage()
+            pipeline.trigger_stage()
         times["prepare"].record(_timed(do_prepare))
     return times
 

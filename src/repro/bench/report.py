@@ -138,6 +138,28 @@ def format_drag_latency_table(rows) -> str:
     return "\n".join(lines)
 
 
+def format_release_latency_table(rows) -> str:
+    """Before/after table for the incremental Prepare: releases (assign +
+    trigger + sliders) per second, from-scratch vs. change-set-driven."""
+    from .drag_latency import median_release_speedup
+
+    lines = [
+        "Release latency: Prepare operations/sec over "
+        f"{rows[0].releases if rows else 0} drag-release gestures",
+        f"{'Example':28s}{'naive/s':>10s}{'fast/s':>10s}{'speedup':>9s}"
+        f"{'identical':>11s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:28s}{row.naive_rps:>10.1f}{row.fast_rps:>10.1f}"
+            f"{row.speedup:>8.2f}x"
+            f"{'yes' if row.outputs_identical else 'NO':>11s}")
+    if rows:
+        lines.append(f"{'median speedup':28s}{'':>10s}{'':>10s}"
+                     f"{median_release_speedup(rows):>8.2f}x")
+    return "\n".join(lines)
+
+
 def format_perf_rows(rows) -> str:
     """Appendix G per-example timing table (median ms per operation)."""
     lines = [

@@ -18,38 +18,42 @@ from typing import List, Optional
 
 
 def _cmd_run(args) -> int:
-    from .lang.program import parse_program
-    from .svg.canvas import Canvas
-    from .svg.render import render_canvas
+    from .core.run import run_source
 
     source = pathlib.Path(args.file).read_text(encoding="utf-8")
-    program = parse_program(source, auto_freeze=args.auto_freeze)
-    canvas = Canvas.from_value(program.evaluate())
-    rendered = render_canvas(canvas.root,
-                             include_hidden=args.include_hidden)
+    # The same staged pipeline the editor runs on; --heuristic additionally
+    # exercises the Prepare stages (assignments/triggers/sliders).
+    pipeline = run_source(source,
+                          heuristic=args.heuristic or "fair",
+                          prepare=args.heuristic is not None,
+                          auto_freeze=args.auto_freeze,
+                          prelude_frozen=not args.prelude_unfrozen)
+    rendered = pipeline.render(include_hidden=args.include_hidden)
     if args.output:
         pathlib.Path(args.output).write_text(rendered + "\n",
                                              encoding="utf-8")
-        print(f"wrote {args.output} ({len(canvas)} shapes)")
+        print(f"wrote {args.output} ({len(pipeline.canvas)} shapes)")
     else:
         print(rendered)
+    if args.heuristic is not None:
+        print(f"active zones: {len(pipeline.assignments.chosen)} "
+              f"(heuristic={args.heuristic}, "
+              f"sliders={len(pipeline.sliders)})", file=sys.stderr)
     return 0
 
 
 def _cmd_examples(args) -> int:
+    from .core.run import run_program
     from .examples.registry import (example_info, example_names,
                                     load_example)
-    from .svg.canvas import Canvas
-    from .svg.render import render_canvas
 
     if args.render:
         out_dir = pathlib.Path(args.render)
         out_dir.mkdir(parents=True, exist_ok=True)
         for name in example_names():
-            program = load_example(name)
-            canvas = Canvas.from_value(program.evaluate())
+            pipeline = run_program(load_example(name))
             (out_dir / f"{name}.svg").write_text(
-                render_canvas(canvas.root) + "\n", encoding="utf-8")
+                pipeline.render() + "\n", encoding="utf-8")
         print(f"rendered {len(example_names())} examples to {out_dir}/")
         return 0
     for name in example_names():
@@ -77,7 +81,7 @@ def _cmd_tables(args) -> int:
                         format_zone_rows, format_zone_table, loc_totals,
                         measure_corpus, prepare_corpus, zone_totals)
 
-    corpus = prepare_corpus()
+    corpus = prepare_corpus(heuristic=args.heuristic)
     sections = {
         "zone_table": format_zone_table(
             zone_totals(corpus_zone_stats(corpus))),
@@ -124,6 +128,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="include 'HIDDEN' helper shapes")
     run_parser.add_argument("--auto-freeze", action="store_true",
                             help="freeze all literals except ?-thawed ones")
+    run_parser.add_argument("--prelude-unfrozen", action="store_true",
+                            help="treat Prelude literals as thawed, as the "
+                                 "editor and tests can")
+    run_parser.add_argument("--heuristic", choices=("fair", "biased"),
+                            help="also run the Prepare stages with this "
+                                 "assignment heuristic and report zone "
+                                 "counts on stderr")
     run_parser.set_defaults(handler=_cmd_run)
 
     examples_parser = commands.add_parser(
@@ -140,6 +151,9 @@ def build_parser() -> argparse.ArgumentParser:
     tables_parser = commands.add_parser(
         "tables", help="regenerate the paper's evaluation tables")
     tables_parser.add_argument("--out", metavar="DIR")
+    tables_parser.add_argument("--heuristic", choices=("fair", "biased"),
+                               default="fair",
+                               help="assignment heuristic for the corpus")
     tables_parser.add_argument("--perf", action="store_true",
                                help="also run the timing table")
     tables_parser.add_argument("--runs", type=int, default=3)

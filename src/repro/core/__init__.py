@@ -1,0 +1,40 @@
+"""The staged live-synchronization core (§4.1, §5.2.3).
+
+This package is the one run path shared by the CLI, the headless editor,
+the example renderer and the benchmark harness:
+
+* :mod:`~repro.core.changeset` — the :class:`ChangeSet` contract describing
+  how a program differs from its predecessor;
+* :mod:`~repro.core.pipeline` — :class:`SyncPipeline`, the
+  Run → Assign → Trigger → Sliders stages with change-set-driven caching;
+* :mod:`~repro.core.run` — one-shot conveniences (``run_source`` /
+  ``run_program``) for parse-evaluate-render consumers.
+
+``changeset`` is imported eagerly (the ``lang`` layer depends on it);
+``pipeline``/``run`` symbols are resolved lazily to keep the dependency
+graph acyclic — ``pipeline`` imports ``lang``, ``svg`` and ``zones``.
+"""
+
+from .changeset import EMPTY_CHANGE, FULL_CHANGE, ChangeSet
+
+__all__ = [
+    "ChangeSet", "EMPTY_CHANGE", "FULL_CHANGE",
+    "SyncPipeline", "run_program", "run_source",
+]
+
+_LAZY = {
+    "SyncPipeline": "pipeline",
+    "run_program": "run",
+    "run_source": "run",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,262 @@
+"""The staged run→assign→trigger→sliders pipeline (§4.1, §5.2.3).
+
+:class:`SyncPipeline` is the single implementation of the loop the paper
+describes — "the program is run, the new output is rendered … when the
+user releases the mouse button, we compute new shape assignments and mouse
+triggers" — shared by the CLI, the headless editor, the example renderer
+and the benchmark harness.  It models the loop as four stages:
+
+1. **Run** — evaluate the program and build the canvas
+   (:meth:`eval_stage` + :meth:`canvas_stage`);
+2. **Assign** — per-zone candidate analysis and heuristic choice
+   (:meth:`assign_stage`);
+3. **Trigger** — mouse triggers for every Active zone
+   (:meth:`trigger_stage`);
+4. **Sliders** — built-in sliders for range-annotated literals
+   (:meth:`slider_stage`).
+
+Every stage takes a :class:`~repro.core.changeset.ChangeSet` describing how
+the current program differs from the one the stage last ran against, and
+caches accordingly:
+
+* **Run** replays the recorded evaluation guards
+  (:mod:`repro.lang.incremental`) and rebuilds only changed canvas nodes;
+  a guard flip escalates the change to structural (full re-run).
+* **Assign** exploits that candidate location sets depend only on *trace
+  structure*, never attribute values: after a non-structural change the
+  incremental canvas rebuild preserves every trace object, which the stage
+  revalidates per affected shape via identity signatures
+  (:meth:`~repro.svg.canvas.Shape.trace_sig`) — re-analyzing a shape (and,
+  if anything truly differs, re-choosing globally) only when the proof
+  fails.
+* **Trigger** rebuilds triggers for shapes whose dependency set intersects
+  the change set and rebinds (shares the pre-read features of) the rest.
+* **Sliders** recomputes only when the change touches a slider location.
+
+The escalation discipline makes the caching self-checking: every
+assumption ("same structure") is guarded by the recorded control-flow
+guards, and anything unprovable falls back to the from-scratch path whose
+outputs the caches are verified against (``tests/test_incremental_prepare``
+and the release-latency benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..lang.ast import Loc
+from ..lang.incremental import EvalCache, record_evaluation, reevaluate
+from ..lang.program import Program, parse_program
+from ..svg.canvas import Canvas
+from ..svg.render import render_canvas
+from ..zones.assignment import (CanvasAssignments, ZoneAnalysis,
+                                analyze_shape, choose_assignments)
+from ..zones.triggers import (MouseTrigger, compute_shape_triggers,
+                              compute_triggers)
+from .changeset import EMPTY_CHANGE, FULL_CHANGE, ChangeSet
+from .sliders import BuiltinSlider, collect_sliders
+
+__all__ = ["SyncPipeline"]
+
+
+class SyncPipeline:
+    """Stateful staged pipeline over one evolving :class:`Program`."""
+
+    def __init__(self, program: Program, *, heuristic: str = "fair",
+                 record: bool = True):
+        self.program = program
+        self.heuristic = heuristic
+        #: Whether the Run stage records control-flow guards so later runs
+        #: can be incremental.  One-shot consumers (CLI render, example
+        #: export, stage benchmarks) switch it off.
+        self.record = record
+        self.output = None
+        self.canvas: Optional[Canvas] = None
+        self.assignments: Optional[CanvasAssignments] = None
+        self.triggers: Dict[Tuple[int, str], MouseTrigger] = {}
+        self.sliders: Dict[Loc, BuiltinSlider] = {}
+        self._eval_cache: Optional[EvalCache] = None
+        self._pending_output = None
+        # Per-shape Assign caches: analyses and trace-identity signatures.
+        self._shape_analyses: Optional[List[List[ZoneAnalysis]]] = None
+        self._shape_sigs: Optional[List[Tuple[int, ...]]] = None
+        self._slider_idents: frozenset = frozenset()
+
+    @classmethod
+    def from_source(cls, source: str, *, heuristic: str = "fair",
+                    record: bool = True, **parse_options) -> "SyncPipeline":
+        return cls(parse_program(source, **parse_options),
+                   heuristic=heuristic, record=record)
+
+    # -- program replacement ---------------------------------------------------
+
+    def replace_program(self, program: Program,
+                        change: Optional[ChangeSet] = None) -> ChangeSet:
+        """Install a new program and return the change set to feed the
+        stages — ``program.last_change`` unless the caller knows better."""
+        self.program = program
+        return change if change is not None else program.last_change
+
+    # -- stage 1: Run ------------------------------------------------------------
+
+    def eval_stage(self, change: Optional[ChangeSet] = None) -> ChangeSet:
+        """Evaluate the program, incrementally when the change allows.
+
+        Returns the *effective* change set: the input one when the guarded
+        replay succeeded, ``FULL_CHANGE`` when a full (re-)evaluation was
+        needed.  The output is staged for :meth:`canvas_stage`.
+        """
+        change = FULL_CHANGE if change is None else change
+        if (not change.structural and self._eval_cache is not None
+                and self.output is not None):
+            if not change.locs:
+                self._pending_output = self.output
+                return change
+            output = reevaluate(self._eval_cache, self.program.rho0)
+            if output is not None:
+                self._pending_output = output
+                return change
+        if self.record:
+            output, self._eval_cache = record_evaluation(self.program)
+        else:
+            output = self.program.evaluate()
+            self._eval_cache = None
+        self._pending_output = output
+        return FULL_CHANGE
+
+    def canvas_stage(self, change: Optional[ChangeSet] = None) -> Canvas:
+        """Build the canvas for the staged output — incrementally (shared
+        nodes, no re-validation, transplanted indexes) for a
+        non-structural change."""
+        change = FULL_CHANGE if change is None else change
+        output = self._pending_output
+        if output is None:
+            raise RuntimeError("canvas_stage before eval_stage")
+        self._pending_output = None
+        if change.structural or self.canvas is None:
+            self.canvas = Canvas.from_value(output)
+        elif output is not self.output:
+            self.canvas = Canvas.rebuilt(self.canvas, self.output, output)
+        self.output = output
+        return self.canvas
+
+    def run_stage(self, change: Optional[ChangeSet] = None) -> ChangeSet:
+        """The Run stage: evaluate + build the canvas."""
+        effective = self.eval_stage(change)
+        self.canvas_stage(effective)
+        return effective
+
+    # -- stage 2: Assign ---------------------------------------------------------
+
+    def assign_stage(self, change: Optional[ChangeSet] = None
+                     ) -> CanvasAssignments:
+        """Compute (or revalidate) shape assignments for every zone."""
+        change = FULL_CHANGE if change is None else change
+        canvas = self.canvas
+        if canvas is None:
+            raise RuntimeError("assign_stage before run_stage")
+        stale = (change.structural or self._shape_analyses is None
+                 or self.assignments is None
+                 or self.assignments.heuristic != self.heuristic
+                 or len(self._shape_analyses) != len(canvas.shapes))
+        if stale:
+            self._shape_analyses = [analyze_shape(canvas, shape)
+                                    for shape in canvas]
+            self._shape_sigs = [shape.trace_sig() for shape in canvas]
+            self.assignments = choose_assignments(
+                canvas, [analysis for per_shape in self._shape_analyses
+                         for analysis in per_shape], self.heuristic)
+            return self.assignments
+        # Value-only change: candidate locsets depend on trace structure
+        # alone, and the incremental canvas rebuild preserves trace
+        # objects.  Revalidate that per affected shape by identity
+        # signature; re-analyze (and re-choose globally — the fair
+        # heuristic's rotation couples zones across shapes) only if a
+        # signature fails the proof.
+        rechoose = False
+        for index in sorted(canvas.shapes_affected(change)):
+            shape = canvas[index]
+            sig = shape.trace_sig()
+            if sig == self._shape_sigs[index]:
+                continue
+            self._shape_sigs[index] = sig
+            fresh = analyze_shape(canvas, shape)
+            if fresh != self._shape_analyses[index]:
+                rechoose = True
+            self._shape_analyses[index] = fresh
+        if rechoose:
+            self.assignments = choose_assignments(
+                canvas, [analysis for per_shape in self._shape_analyses
+                         for analysis in per_shape], self.heuristic)
+        return self.assignments
+
+    # -- stage 3: Trigger --------------------------------------------------------
+
+    def trigger_stage(self, change: Optional[ChangeSet] = None
+                      ) -> Dict[Tuple[int, str], MouseTrigger]:
+        """Compute mouse triggers for every Active zone."""
+        change = FULL_CHANGE if change is None else change
+        canvas, assignments = self.canvas, self.assignments
+        if canvas is None or assignments is None:
+            raise RuntimeError("trigger_stage before assign_stage")
+        rho = self.program.rho0
+        if change.structural or not self.triggers:
+            self.triggers = compute_triggers(canvas, assignments, rho)
+            return self.triggers
+        affected = canvas.shapes_affected(change)
+        triggers: Dict[Tuple[int, str], MouseTrigger] = {}
+        for index, keys in assignments.keys_by_shape().items():
+            fresh = index in affected
+            if not fresh:
+                shape = canvas[index]
+                for key in keys:
+                    previous = self.triggers.get(key)
+                    if (previous is None or
+                            previous.assignment is not assignments.chosen[key]):
+                        fresh = True          # re-chosen or never built
+                        break
+                else:
+                    for key in keys:
+                        triggers[key] = self.triggers[key].rebind(shape, rho)
+            if fresh:
+                triggers.update(compute_shape_triggers(
+                    canvas, assignments, index, rho))
+        self.triggers = triggers
+        return triggers
+
+    # -- stage 4: Sliders --------------------------------------------------------
+
+    def slider_stage(self, change: Optional[ChangeSet] = None
+                     ) -> Dict[Loc, BuiltinSlider]:
+        """Collect built-in sliders (§2.4) for range-annotated literals."""
+        change = FULL_CHANGE if change is None else change
+        if change.structural or change.affects(self._slider_idents):
+            self.sliders = collect_sliders(self.program)
+            self._slider_idents = frozenset(loc.ident
+                                            for loc in self.sliders)
+        return self.sliders
+
+    # -- composite operations ----------------------------------------------------
+
+    def prepare(self, change: Optional[ChangeSet] = None) -> None:
+        """Assign + Trigger + Sliders — the Prepare operation of §5.2.3,
+        performed "when the program is run initially and after the user
+        finishes dragging a zone"."""
+        self.assign_stage(change)
+        self.trigger_stage(change)
+        self.slider_stage(change)
+
+    def run(self, change: Optional[ChangeSet] = None) -> ChangeSet:
+        """The whole pipeline: Run, then Prepare under the effective
+        change (escalated to full if evaluation could not be replayed)."""
+        effective = self.run_stage(change)
+        self.prepare(effective)
+        return effective
+
+    # -- output ------------------------------------------------------------------
+
+    def render(self, *, include_hidden: bool = False) -> str:
+        """The canvas as SVG text (Appendix C)."""
+        if self.canvas is None:
+            raise RuntimeError("render before run_stage")
+        return render_canvas(self.canvas.root, include_hidden=include_hidden)

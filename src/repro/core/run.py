@@ -1,0 +1,40 @@
+"""One-shot conveniences over :class:`~repro.core.pipeline.SyncPipeline`.
+
+The CLI ``run`` command, the example renderer and the benchmark corpus all
+used to carry their own parse → evaluate → build-canvas → render loops;
+they now share this entry point (and, through it, the staged pipeline the
+editor runs on).
+"""
+
+from __future__ import annotations
+
+from ..lang.program import Program, parse_program
+from .pipeline import SyncPipeline
+
+__all__ = ["run_program", "run_source"]
+
+
+def run_program(program: Program, *, heuristic: str = "fair",
+                prepare: bool = False, record: bool = False) -> SyncPipeline:
+    """Run ``program`` through the pipeline and return it.
+
+    ``prepare=True`` also computes assignments, triggers and sliders (the
+    editor's Prepare); the default stops after the Run stage, which is all
+    a render needs.  ``record=True`` keeps evaluation guards so subsequent
+    runs can be incremental (the editor's mode).
+    """
+    pipeline = SyncPipeline(program, heuristic=heuristic, record=record)
+    if prepare:
+        pipeline.run()
+    else:
+        pipeline.run_stage()
+    return pipeline
+
+
+def run_source(source: str, *, heuristic: str = "fair",
+               prepare: bool = False, record: bool = False,
+               **parse_options) -> SyncPipeline:
+    """Parse little ``source`` and run it (see :func:`run_program`)."""
+    return run_program(
+        parse_program(source, **parse_options),
+        heuristic=heuristic, prepare=prepare, record=record)

@@ -11,8 +11,13 @@ UI: it exposes exactly the interaction loop of the paper —
    substitution to the original program, re-evaluate, re-render;
 4. **release**: commit, then re-prepare for the next action.
 
-Hover captions, freeze highlighting and the undo feature of §5/§6.2 are
-modelled as inspectable data.
+The session is a thin shell over :class:`~repro.core.pipeline.SyncPipeline`
+— the staged run→assign→trigger→sliders core shared with the CLI and the
+benchmarks — adding only interaction state: the drag in flight, the undo
+history (§6.2), and hover/highlight presentation (§5).  Each drag step
+feeds the pipeline the substitution's change set, so the Run stage replays
+recorded guards instead of re-evaluating, and the release's Prepare only
+re-computes what the gesture's accumulated change could have touched.
 """
 
 from __future__ import annotations
@@ -20,17 +25,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..core.changeset import EMPTY_CHANGE, FULL_CHANGE, ChangeSet
+from ..core.pipeline import SyncPipeline
 from ..lang.ast import Loc
 from ..lang.errors import LittleError
-from ..lang.incremental import EvalCache, record_evaluation, reevaluate
 from ..lang.program import Program, parse_program
 from ..svg.canvas import Canvas
-from ..svg.node import rebuild_node
-from ..svg.render import render_canvas
-from ..trace.trace import locs
-from ..zones.assignment import CanvasAssignments, assign_canvas
-from ..zones.triggers import MouseTrigger, TriggerResult, compute_triggers
-from .sliders import BuiltinSlider, collect_sliders
+from ..zones.assignment import CanvasAssignments
+from ..zones.triggers import MouseTrigger, TriggerResult
+from .sliders import BuiltinSlider
+
+__all__ = ["EditorError", "HoverInfo", "LiveSession"]
 
 
 class EditorError(LittleError):
@@ -63,55 +68,59 @@ class LiveSession:
         if program is None:
             program = parse_program(source, auto_freeze=auto_freeze,
                                     prelude_frozen=prelude_frozen)
-        self.heuristic = heuristic
-        self.program = program
+        self.pipeline = SyncPipeline(program, heuristic=heuristic,
+                                     record=True)
         self.history: List[Program] = []
-        self.canvas: Canvas
-        self.assignments: CanvasAssignments
-        self.triggers: Dict[Tuple[int, str], MouseTrigger]
-        self.sliders: Dict[Loc, BuiltinSlider]
         self._drag_base: Optional[Program] = None
         self._drag_trigger: Optional[MouseTrigger] = None
         self._last_result: Optional[TriggerResult] = None
-        self._eval_cache: Optional[EvalCache] = None
-        self._last_output = None
+        self._gesture_change: ChangeSet = EMPTY_CHANGE
         self.run()
+
+    # -- pipeline views ----------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self.pipeline.program
+
+    @property
+    def heuristic(self) -> str:
+        return self.pipeline.heuristic
+
+    @property
+    def canvas(self) -> Canvas:
+        return self.pipeline.canvas
+
+    @property
+    def assignments(self) -> CanvasAssignments:
+        return self.pipeline.assignments
+
+    @property
+    def triggers(self) -> Dict[Tuple[int, str], MouseTrigger]:
+        return self.pipeline.triggers
+
+    @property
+    def sliders(self) -> Dict[Loc, BuiltinSlider]:
+        return self.pipeline.sliders
 
     # -- run / prepare ---------------------------------------------------------
 
     def run(self) -> None:
-        """Evaluate the current program and prepare for user actions.
-
-        The evaluation records control-flow guards so that subsequent drag
-        steps can re-run incrementally (trace-driven, §4.1)."""
-        output, self._eval_cache = record_evaluation(self.program)
-        self._last_output = output
-        self.canvas = Canvas.from_value(output)
-        self.prepare()
+        """Evaluate the current program from scratch and prepare for user
+        actions."""
+        self.pipeline.run()
 
     def prepare(self) -> None:
-        """Compute assignments and triggers for every zone (the "Prepare"
-        operation measured in §5.2.3)."""
-        self.assignments = assign_canvas(self.canvas, self.heuristic)
-        self.triggers = compute_triggers(self.canvas, self.assignments,
-                                         self.program.rho0)
-        self.sliders = collect_sliders(self.program)
+        """Recompute assignments and triggers for every zone (the
+        from-scratch "Prepare" operation measured in §5.2.3)."""
+        self.pipeline.prepare()
 
     # -- hovering ----------------------------------------------------------------
 
     def hover(self, shape_index: int, zone_name: str) -> HoverInfo:
-        assignment = self.assignments.lookup(shape_index, zone_name)
-        analysis = self.assignments.analysis(shape_index, zone_name)
-        if assignment is None or analysis is None:
-            return HoverInfo(active=False, caption="Inactive")
-        selected = tuple(sorted(assignment.location_set,
-                                key=lambda loc: loc.ident))
-        contributing = set()
-        for locset in analysis.locsets:
-            contributing.update(locset)
-        unselected = tuple(sorted(contributing - set(selected),
-                                  key=lambda loc: loc.ident))
-        return HoverInfo(active=True, caption=assignment.caption(),
+        active, caption, selected, unselected = \
+            self.assignments.hover_data(shape_index, zone_name)
+        return HoverInfo(active=active, caption=caption,
                          selected=selected, unselected=unselected)
 
     # -- dragging ---------------------------------------------------------------
@@ -124,6 +133,9 @@ class LiveSession:
         self._drag_base = self.program
         self._drag_trigger = trigger
         self._last_result = None
+        # _gesture_change is NOT reset here: if a previous gesture was
+        # never released, its accumulated change must still reach the
+        # next Prepare (release() resets it after consuming it).
 
     def drag(self, dx: float, dy: float) -> TriggerResult:
         """One mouse-move step: the offsets are cumulative from the
@@ -133,36 +145,34 @@ class LiveSession:
         result = self._drag_trigger(dx, dy)
         self._last_result = result
         if result.bindings:
-            self.program = self._drag_base.substitute(result.bindings)
-            output = None
-            if self._eval_cache is not None:
-                # Incremental fast path: same structure, new ρ — rebuild the
-                # output from traces, checking the recorded guards.
-                output = reevaluate(self._eval_cache, self.program.rho0)
-            if output is None:
-                # A guard flipped (or no cache): full run, re-record.
-                output, self._eval_cache = record_evaluation(self.program)
-                self.canvas = Canvas.from_value(output)
-            else:
-                # Same structure: rebuild the canvas in lockstep, sharing
-                # unchanged nodes and skipping re-validation.
-                self.canvas = Canvas(
-                    rebuild_node(self.canvas.root, self._last_output,
-                                 output))
-            self._last_output = output
+            previous = self.pipeline.program
+            program = self._drag_base.substitute(result.bindings)
+            # The substitution (and hence ``last_change``) is relative to
+            # the drag *base*, but the pipeline's state is at the previous
+            # step — also a substitution of the same base.  Their union
+            # bounds the step-over-step difference (a loc dragged away and
+            # back to its base value appears only in the previous one).
+            step_change = program.last_change
+            if previous is not self._drag_base:
+                step_change = step_change.union(previous.last_change)
+            self.pipeline.replace_program(program, step_change)
+            effective = self.pipeline.run_stage(step_change)
+            self._gesture_change = self._gesture_change.union(effective)
         return result
 
     def release(self) -> None:
         """Finish the user action: commit to history and re-prepare
         ("when the user releases the mouse button, we compute new shape
-        assignments and mouse triggers", §4.1)."""
+        assignments and mouse triggers", §4.1) — incrementally, against
+        the gesture's accumulated change set."""
         if self._drag_base is None:
             raise EditorError("release without start_drag")
         if self.program is not self._drag_base:
             self.history.append(self._drag_base)
         self._drag_base = None
         self._drag_trigger = None
-        self.prepare()
+        self.pipeline.prepare(self._gesture_change)
+        self._gesture_change = EMPTY_CHANGE
 
     def drag_zone(self, shape_index: int, zone_name: str, dx: float,
                   dy: float) -> TriggerResult:
@@ -179,17 +189,38 @@ class LiveSession:
         if slider is None:
             raise EditorError(f"no slider for location {loc.display()}")
         clamped = max(slider.lo, min(slider.hi, value))
+        if clamped == slider.value:
+            # No-op drag to the current value: no history entry, no re-run.
+            return
         self.history.append(self.program)
-        self.program = self.program.substitute({loc: clamped})
-        self.run()
+        program = self.program.substitute({loc: clamped})
+        change = self.pipeline.replace_program(program)
+        self.pipeline.run(change)
 
     # -- undo (§6.2) ----------------------------------------------------------------
 
     def undo(self) -> None:
         if not self.history:
             raise EditorError("nothing to undo")
-        self.program = self.history.pop()
-        self.run()
+        restored = self.history.pop()
+        if self._drag_base is not None:
+            # Undo during an in-flight drag aborts the gesture: the
+            # pipeline state is then more than one substitution away from
+            # the restored program, so no cheap change set bounds the
+            # difference — re-run from scratch.
+            self._drag_base = None
+            self._drag_trigger = None
+            self._gesture_change = EMPTY_CHANGE
+            self.pipeline.replace_program(restored, FULL_CHANGE)
+            self.pipeline.run(FULL_CHANGE)
+            return
+        # Between user actions the current program was derived from the
+        # popped one by a single substitution (drag commit or slider
+        # move), so the inverse change touches exactly the same
+        # locations; drawing-style structural edits start fresh sessions.
+        change = self.pipeline.program.last_change
+        self.pipeline.replace_program(restored, change)
+        self.pipeline.run(change)
 
     # -- output -----------------------------------------------------------------------
 
@@ -199,7 +230,7 @@ class LiveSession:
 
     def export_svg(self, *, include_hidden: bool = False) -> str:
         """Export the canvas as SVG text (Appendix C)."""
-        return render_canvas(self.canvas.root, include_hidden=include_hidden)
+        return self.pipeline.render(include_hidden=include_hidden)
 
     # -- introspection -------------------------------------------------------------
 

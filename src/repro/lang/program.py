@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..core.changeset import ChangeSet, FULL_CHANGE
 from .ast import ELet, ENum, Expr, Loc, iter_numbers, substitute
 from .eval import Env, evaluate
 from .parser import collect_rho0, parse_top_level
@@ -35,7 +36,8 @@ class Program:
     """A parsed little program, ready to evaluate and synthesize against."""
 
     __slots__ = ("user_ast", "source", "with_prelude", "prelude_frozen",
-                 "rho0", "_ast", "_num_index", "_prelude_modified")
+                 "rho0", "last_change", "_ast", "_num_index",
+                 "_prelude_modified")
 
     def __init__(self, user_ast: Expr, *, source: str = "",
                  with_prelude: bool = True, prelude_frozen: bool = True):
@@ -46,6 +48,10 @@ class Program:
         self._ast: Optional[Expr] = None
         self._num_index: Optional[Dict[Loc, ENum]] = None
         self._prelude_modified = False
+        #: How this program differs from its predecessor (the ChangeSet
+        #: contract of repro.core): a freshly parsed/constructed program has
+        #: no predecessor, so everything downstream must be (re)computed.
+        self.last_change: ChangeSet = FULL_CHANGE
         if with_prelude:
             self.rho0 = dict(prelude_rho0(prelude_frozen))
             self.rho0.update(collect_rho0(user_ast))
@@ -109,6 +115,9 @@ class Program:
         program.prelude_frozen = self.prelude_frozen
         program._ast = None
         program._prelude_modified = False
+        # Only the literals actually rewritten (no-op entries are dropped
+        # by ``substitute``) — the change set downstream stages key on.
+        program.last_change = ChangeSet.of(replaced)
         program.rho0 = dict(self.rho0)
         program.rho0.update(effective)
         new_index = dict(index)
@@ -124,6 +133,7 @@ class Program:
         program.source = self.source
         program.with_prelude = self.with_prelude
         program.prelude_frozen = self.prelude_frozen
+        program.last_change = ChangeSet.of(rho)
         if self.with_prelude:
             program._ast = substitute(self.ast, rho)
             program._prelude_modified = True

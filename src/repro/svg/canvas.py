@@ -11,10 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..lang.ast import Loc
 from ..lang.errors import SvgError
 from ..lang.values import VNum, Value, is_list, to_pylist
 from .attrs import path_command_groups
-from .node import SHAPE_KINDS, SvgNode, parse_canvas
+from .node import SHAPE_KINDS, SvgNode, parse_canvas, rebuild_node
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,8 @@ class Shape:
         self.index = index
         self.node = node
         self.kind = node.kind
+        self._path_numbers: Optional[List[VNum]] = None
+        self._dep_locs: Optional[frozenset] = None
 
     def __repr__(self) -> str:
         return f"Shape({self.index}, {self.kind!r})"
@@ -98,14 +101,62 @@ class Shape:
         return pairs
 
     def path_numbers(self) -> List[VNum]:
-        """All numbers in the path data, flattened in order."""
+        """All numbers in the path data, flattened in order.
+
+        Cached per shape: every ``('d', i)`` AttrRef resolved through
+        :meth:`get_num` (zone analysis, trigger construction, hover) hits
+        the same parse, which is linear in the path length.
+        """
+        if self._path_numbers is not None:
+            return self._path_numbers
         value = self.node.attr("d")
         if value is None:
             raise SvgError(f"shape {self.index} has no 'd' attribute")
         numbers: List[VNum] = []
         for _command, group in path_command_groups(value):
             numbers.extend(group)
+        self._path_numbers = numbers
         return numbers
+
+    # -- loc dependencies (the incremental-Prepare index) -----------------------
+
+    def attr_traces(self) -> List:
+        """Traces of every numeric value in this shape's attributes."""
+        traces = []
+        for key, value in self.node.attrs:
+            traces.extend(_attr_traces(key, value))
+        return traces
+
+    def trace_sig(self) -> Tuple[int, ...]:
+        """Identity signature of the shape's attribute traces.
+
+        The incremental canvas rebuild (:meth:`Canvas.rebuilt`) preserves
+        trace objects, so an unchanged signature proves the shape's zone
+        structure and candidate location sets are exactly those of the
+        previous Prepare — without re-walking any trace.
+        """
+        return tuple(id(trace) for trace in self.attr_traces())
+
+    def dep_locs(self) -> frozenset:
+        """``Loc.ident`` of every location (frozen or not) appearing in any
+        attribute trace — "which changes could affect this shape?"."""
+        if self._dep_locs is not None:
+            return self._dep_locs
+        idents = set()
+        seen = set()
+        stack = list(self.attr_traces())
+        while stack:
+            node = stack.pop()
+            if type(node) is Loc:
+                idents.add(node.ident)
+            else:
+                key = id(node)
+                if key in seen:        # traces are DAGs; walk shared
+                    continue           # subtrees once per shape
+                seen.add(key)
+                stack.extend(node.args)
+        self._dep_locs = frozenset(idents)
+        return self._dep_locs
 
     def path_coordinate_axes(self) -> List[int]:
         """For each number in :meth:`path_numbers`, whether it is an x (0)
@@ -138,10 +189,25 @@ class Canvas:
         self.root = root
         self.shapes: List[Shape] = []
         self._flatten(root)
+        self._loc_index: Optional[Dict[int, Tuple[int, ...]]] = None
 
     @classmethod
     def from_value(cls, value: Value) -> "Canvas":
         return cls(parse_canvas(value))
+
+    @classmethod
+    def rebuilt(cls, canvas: "Canvas", old_value: Value,
+                new_value: Value) -> "Canvas":
+        """Incremental rebuild for a *structurally identical* new output
+        (see :func:`~repro.svg.node.rebuild_node`).  Traces are preserved,
+        so the loc-dependency index carries over unchanged."""
+        new_canvas = cls(rebuild_node(canvas.root, old_value, new_value))
+        new_canvas._loc_index = canvas._loc_index
+        for old_shape, new_shape in zip(canvas.shapes, new_canvas.shapes):
+            new_shape._dep_locs = old_shape._dep_locs
+            if new_shape.node is old_shape.node:
+                new_shape._path_numbers = old_shape._path_numbers
+        return new_canvas
 
     def _flatten(self, node: SvgNode) -> None:
         for child in node.children:
@@ -171,9 +237,34 @@ class Canvas:
         statistic."""
         traces = []
         for shape in self.shapes:
-            for key, value in shape.node.attrs:
-                traces.extend(_attr_traces(key, value))
+            traces.extend(shape.attr_traces())
         return traces
+
+    # -- loc-dependency index ----------------------------------------------------
+
+    def loc_shape_index(self) -> Dict[int, Tuple[int, ...]]:
+        """``Loc.ident`` → indices of the shapes whose attribute traces
+        mention it.  Built lazily, once per canvas structure; the
+        incremental rebuild transplants it."""
+        if self._loc_index is None:
+            index: Dict[int, List[int]] = {}
+            for shape in self.shapes:
+                for ident in shape.dep_locs():
+                    index.setdefault(ident, []).append(shape.index)
+            self._loc_index = {ident: tuple(indices)
+                               for ident, indices in index.items()}
+        return self._loc_index
+
+    def shapes_affected(self, change) -> frozenset:
+        """Indices of the shapes whose dependency set intersects the
+        change set; every shape when the change is structural."""
+        if change.structural:
+            return frozenset(range(len(self.shapes)))
+        index = self.loc_shape_index()
+        affected = set()
+        for ident in change.idents:
+            affected.update(index.get(ident, ()))
+        return frozenset(affected)
 
 
 def _attr_traces(key: str, value: Value):

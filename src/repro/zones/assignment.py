@@ -26,9 +26,9 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..lang.ast import Loc
-from ..svg.canvas import Canvas
+from ..svg.canvas import Canvas, Shape
 from ..trace.trace import count_loc_occurrences, locs
-from .zones import Zone, zones_for_canvas
+from .zones import Zone, zones_for_canvas, zones_for_shape
 
 #: Cap on explicitly enumerated candidates per zone (polygon INTERIOR zones
 #: can have huge cross products; real location sets are tiny — §5.2.1).
@@ -120,6 +120,37 @@ class CanvasAssignments:
                 return analysis
         return None
 
+    def keys_by_shape(self) -> Dict[int, List[Tuple[int, str]]]:
+        """Chosen zone keys grouped by shape index — the unit at which the
+        incremental trigger stage re-computes.  Cached: the chosen dict is
+        never mutated after construction."""
+        grouped = getattr(self, "_keys_by_shape", None)
+        if grouped is None:
+            grouped = {}
+            for key in self.chosen:
+                grouped.setdefault(key[0], []).append(key)
+            self._keys_by_shape = grouped
+        return grouped
+
+    def hover_data(self, shape_index: int, zone_name: str
+                   ) -> Tuple[bool, str, Tuple[Loc, ...], Tuple[Loc, ...]]:
+        """What the editor shows when hovering a zone (§5): whether it is
+        Active, the constants that will change, and the contributing
+        constants that were not selected.  Shared by the editor's hover
+        caption and the incremental-Prepare equivalence checks."""
+        assignment = self.lookup(shape_index, zone_name)
+        analysis = self.analysis(shape_index, zone_name)
+        if assignment is None or analysis is None:
+            return False, "Inactive", (), ()
+        selected = tuple(sorted(assignment.location_set,
+                                key=lambda loc: loc.ident))
+        contributing = set()
+        for locset in analysis.locsets:
+            contributing.update(locset)
+        unselected = tuple(sorted(contributing - set(selected),
+                                  key=lambda loc: loc.ident))
+        return True, assignment.caption(), selected, unselected
+
 
 def analyze_zone(canvas: Canvas, zone: Zone) -> ZoneAnalysis:
     """Compute candidate location sets for each feature of ``zone``."""
@@ -151,18 +182,29 @@ def analyze_zone(canvas: Canvas, zone: Zone) -> ZoneAnalysis:
                         tuple(feature_group), count)
 
 
+def analyze_shape(canvas: Canvas, shape: Shape) -> List[ZoneAnalysis]:
+    """Per-shape analysis entry point: candidate structure of every zone
+    of one shape.  The incremental Prepare re-runs this only for shapes
+    whose loc-dependency set intersects the change set."""
+    return [analyze_zone(canvas, zone) for zone in zones_for_shape(shape)]
+
+
 def analyze_canvas(canvas: Canvas) -> List[ZoneAnalysis]:
     return [analyze_zone(canvas, zone) for zone in zones_for_canvas(canvas)]
 
 
-def assign_canvas(canvas: Canvas, heuristic: str = "fair"
-                  ) -> CanvasAssignments:
-    """The Prepare step: analyze all zones and choose one assignment per
-    Active zone using the requested heuristic."""
+def choose_assignments(canvas: Canvas, analyses: List[ZoneAnalysis],
+                       heuristic: str = "fair") -> CanvasAssignments:
+    """The selection half of Prepare: pick one assignment per Active zone.
+
+    The choice depends only on the analyses' location sets (and, for the
+    biased heuristic, the canvas trace pool) — never on attribute *values*
+    — which is what lets the incremental Prepare reuse it wholesale when
+    a change leaves every trace structurally intact.
+    """
     if heuristic not in HEURISTICS:
         raise ValueError(f"unknown heuristic {heuristic!r}; "
                          f"expected one of {HEURISTICS}")
-    analyses = analyze_canvas(canvas)
     usage: Dict[FrozenSet[Loc], int] = {}
     scores: Optional[Dict[Loc, int]] = None
     if heuristic == "biased":
@@ -177,6 +219,13 @@ def assign_canvas(canvas: Canvas, heuristic: str = "fair"
         assignment = Assignment(analysis.zone, theta)
         chosen[(analysis.zone.shape_index, analysis.zone.name)] = assignment
     return CanvasAssignments(analyses, chosen, heuristic)
+
+
+def assign_canvas(canvas: Canvas, heuristic: str = "fair"
+                  ) -> CanvasAssignments:
+    """The Prepare step: analyze all zones and choose one assignment per
+    Active zone using the requested heuristic."""
+    return choose_assignments(canvas, analyze_canvas(canvas), heuristic)
 
 
 def _choose(analysis: ZoneAnalysis, usage: Dict[FrozenSet[Loc], int],

@@ -77,6 +77,22 @@ class MouseTrigger:
             number = shape.get_num(feature.ref)
             self._features.append((feature, loc, number.value, number.trace))
 
+    def rebind(self, shape: Shape, rho: Mapping[Loc, float]
+               ) -> "MouseTrigger":
+        """A trigger for the same zone on a value-identical shape.
+
+        Used by the incremental Prepare for shapes whose dependency set
+        does not intersect the change set: their attribute values and
+        traces are unchanged, so the pre-read feature tuples are shared
+        and only ρ (which a substitution always replaces) is rebound.
+        """
+        trigger = MouseTrigger.__new__(MouseTrigger)
+        trigger.shape = shape
+        trigger.assignment = self.assignment
+        trigger.rho = rho
+        trigger._features = self._features
+        return trigger
+
     def __call__(self, dx: float, dy: float) -> TriggerResult:
         bindings: Dict[Loc, float] = {}
         outcomes: List[FeatureOutcome] = []
@@ -105,4 +121,17 @@ def compute_triggers(canvas: Canvas, assignments: CanvasAssignments,
     for key, assignment in assignments.chosen.items():
         shape = canvas[assignment.zone.shape_index]
         triggers[key] = MouseTrigger(shape, assignment, rho)
+    return triggers
+
+
+def compute_shape_triggers(canvas: Canvas, assignments: CanvasAssignments,
+                           shape_index: int, rho: Mapping[Loc, float]
+                           ) -> Dict[Tuple[int, str], MouseTrigger]:
+    """Per-shape trigger entry point: fresh triggers for every Active zone
+    of one shape — the unit the incremental Prepare re-computes when the
+    shape's dependency set intersects the change set."""
+    shape = canvas[shape_index]
+    triggers: Dict[Tuple[int, str], MouseTrigger] = {}
+    for key in assignments.keys_by_shape().get(shape_index, ()):
+        triggers[key] = MouseTrigger(shape, assignments.chosen[key], rho)
     return triggers
