@@ -1,0 +1,52 @@
+"""Serve-throughput benchmark: the sync service under concurrent load.
+
+The ROADMAP's north star is a service for many users; this table measures
+the two serving-layer mechanisms on top of the incremental pipeline:
+
+* the shared compile cache — sessions/sec when N users open the corpus
+  (the first open of each program parses + evaluates, the rest adopt the
+  recorded evaluation);
+* drag-burst coalescing — drag-events/sec when each request carries a
+  burst of cumulative mouse samples and the protocol re-runs once.
+
+Every protocol response is verified byte-identical (SVG and program text)
+to a direct ``LiveSession`` driven with the same inputs, so the service
+adds no semantic layer — only scheduling.  Under ``--benchmark-disable``
+the equivalence checks are the point; the throughput numbers are noise.
+"""
+
+from repro.bench import (SERVE_CONCURRENCY, format_serve_throughput_table,
+                         measure_serve_throughput)
+from repro.serve import ServeApp
+
+
+def test_bench_serve_drag_request(benchmark):
+    """A single coalesced drag request + release through the protocol."""
+    app = ServeApp()
+    opened = app.handle({"cmd": "open", "example": "ferris_wheel"})
+    assert opened["ok"]
+    sid = opened["session"]
+    session = app.manager.get(sid)
+    shape, zone = sorted(session.triggers)[0]
+    counter = [0]
+
+    def burst():
+        base = float(counter[0] % 19)
+        counter[0] += 1
+        steps = [[base + sample, base + 2 * sample] for sample in range(5)]
+        dragged = app.handle({"cmd": "drag", "session": sid,
+                              "shape": shape, "zone": zone, "steps": steps})
+        released = app.handle({"cmd": "release", "session": sid})
+        assert dragged["ok"] and released["ok"]
+
+    benchmark(burst)
+    assert app.manager.stats()["live_sessions"] == 1
+
+
+def test_serve_throughput_table(write_table):
+    """E9 — the serve-throughput table at 1/8/64 concurrent sessions,
+    every response byte-identical to the direct LiveSession path."""
+    rows = measure_serve_throughput()
+    assert [row.concurrency for row in rows] == list(SERVE_CONCURRENCY)
+    assert all(row.responses_identical for row in rows)
+    write_table("serve_throughput", format_serve_throughput_table(rows))

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the documentation (no third-party deps).
+
+Scans markdown files for inline links/images ``[text](target)`` and
+reference definitions ``[id]: target`` and verifies that every
+*repository-relative* target resolves: the file exists, and an optional
+``#fragment`` matches a heading of the target markdown file (GitHub
+anchor slugs).  External ``http(s):``/``mailto:`` links are not fetched
+— CI must stay offline-deterministic — but must at least be well-formed.
+
+Usage::
+
+    python scripts/check_links.py README.md docs [more files or dirs]
+
+Exits nonzero listing every dead link.  Imported by
+``tests/test_docs.py`` so the check also runs inside the test suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"[`*_~]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_targets(path: pathlib.Path) -> List[str]:
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    return (INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text))
+
+
+def check_file(path: pathlib.Path) -> List[Tuple[str, str]]:
+    """All dead links in one markdown file, as (target, reason) pairs."""
+    dead = []
+    for target in markdown_targets(path):
+        scheme = target.split(":", 1)[0].lower() if ":" in target else ""
+        if scheme in ("http", "https", "mailto"):
+            if not re.match(r"^(https?://\S+\.\S+|mailto:\S+@\S+)",
+                            target):
+                dead.append((target, "malformed external link"))
+            continue
+        relative, _, fragment = target.partition("#")
+        resolved = path.parent / relative if relative else path
+        if not resolved.exists():
+            dead.append((target, f"no such file {resolved}"))
+            continue
+        if fragment and resolved.suffix == ".md":
+            # Strip fences first: a '# ...' line inside a code block is
+            # not a rendered heading and must not mask a dead anchor.
+            headings = HEADING.findall(
+                FENCE.sub("", resolved.read_text(encoding="utf-8")))
+            if fragment.lower() not in {github_slug(h) for h in headings}:
+                dead.append((target, f"no heading #{fragment}"))
+    return dead
+
+
+def collect(paths) -> List[pathlib.Path]:
+    files: List[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        argv = ["README.md", "docs"]
+    failures = 0
+    files = collect(argv)
+    for path in files:
+        if not path.is_file():
+            print(f"{path}: no such file", file=sys.stderr)
+            failures += 1
+            continue
+        for target, reason in check_file(path):
+            print(f"{path}: dead link {target!r}: {reason}",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} problem(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

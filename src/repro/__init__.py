@@ -3,7 +3,11 @@
 "Programmatic and Direct Manipulation, Together at Last" by Chugh, Hempel,
 Spradlin and Albers.  The package implements the ``little`` language, its
 trace-instrumented evaluator, trace-based program synthesis, the SVG zone /
-assignment / trigger pipeline, and a headless live-synchronization editor.
+assignment / trigger pipeline, a headless live-synchronization editor, and
+a multi-session sync service (``repro.serve``, ``python -m repro serve``).
+
+Start at ``README.md`` and ``docs/`` in the repository root; the console
+examples there run as doctests.
 """
 
 __version__ = "1.0.0"

@@ -17,8 +17,12 @@ from .perf import (OperationTimes, PerfRow, measure_corpus,
 from .report import (PAPER_EQUATION_TOTALS, PAPER_PERF_MS, PAPER_ZONE_TOTALS,
                      format_drag_latency_table, format_equation_table,
                      format_loc_rows, format_perf_rows, format_perf_table,
-                     format_release_latency_table, format_zone_rows,
+                     format_release_latency_table,
+                     format_serve_throughput_table, format_zone_rows,
                      format_zone_table)
+from .serve_throughput import (SERVE_CONCURRENCY, SERVE_EXAMPLES,
+                               ServeThroughputRow,
+                               measure_serve_throughput)
 from .zone_stats import (ZoneStatsRow, ZoneTotals, corpus_zone_stats,
                          zone_stats, zone_totals)
 
@@ -29,6 +33,8 @@ __all__ = [
     "RELEASE_EXAMPLES", "ReleaseLatencyRow", "measure_release_latency",
     "median_release_speedup", "naive_prepare", "prepare_equal",
     "format_release_latency_table",
+    "SERVE_CONCURRENCY", "SERVE_EXAMPLES", "ServeThroughputRow",
+    "measure_serve_throughput", "format_serve_throughput_table",
     "EquationTotals", "PreEquation", "equation_totals",
     "extract_pre_equations",
     "InteractivityTotals", "format_interactivity", "interactivity_stats",

@@ -160,6 +160,25 @@ def format_release_latency_table(rows) -> str:
     return "\n".join(lines)
 
 
+def format_serve_throughput_table(rows) -> str:
+    """Load-generator table for the serve layer: protocol requests/sec at
+    1/8/64 concurrent sessions, responses verified byte-identical to a
+    direct :class:`~repro.editor.session.LiveSession`."""
+    burst = rows[0].steps_per_burst if rows else 0
+    lines = [
+        "Serve throughput: JSON protocol, drag bursts of "
+        f"{burst} samples coalesced per request",
+        f"{'sessions':>9s}{'opens/s':>10s}{'drag-ev/s':>11s}"
+        f"{'requests':>10s}{'identical':>11s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.concurrency:>9d}{row.opens_per_sec:>10.1f}"
+            f"{row.drag_events_per_sec:>11.1f}{row.requests:>10d}"
+            f"{'yes' if row.responses_identical else 'NO':>11s}")
+    return "\n".join(lines)
+
+
 def format_perf_rows(rows) -> str:
     """Appendix G per-example timing table (median ms per operation)."""
     lines = [

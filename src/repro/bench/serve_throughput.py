@@ -1,0 +1,138 @@
+"""Serve-throughput benchmark: the JSON protocol under concurrent sessions.
+
+A load generator drives :class:`~repro.serve.protocol.ServeApp` with N
+interleaved sessions — open, then rounds of drag bursts + release — and
+measures **sessions opened/sec** (where the shared compile cache pays off:
+N sessions opening the same corpus program parse and evaluate it once) and
+**drag-events/sec** (where per-session burst coalescing pays off: a burst
+of K cumulative mouse samples costs one incremental re-run).
+
+Every response is verified byte-identical to a direct
+:class:`~repro.editor.session.LiveSession` driven with the same inputs.
+Sessions opened on the same example receive identical gesture sequences,
+so one mirror session per example is the exact direct-path state for all
+of them; the mirrors advance outside the timed regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Sequence, Tuple
+
+from ..editor.session import LiveSession
+from ..examples.registry import example_source
+from ..serve.manager import SessionManager
+from ..serve.protocol import ServeApp
+
+__all__ = ["SERVE_CONCURRENCY", "SERVE_EXAMPLES", "ServeThroughputRow",
+           "measure_serve_throughput"]
+
+#: Concurrency levels of the load table (sessions interleaved per round).
+SERVE_CONCURRENCY = (1, 8, 64)
+
+#: Corpus programs the generator cycles over: the "hello world", the
+#: running example, a case study, and a heavy multi-shape canvas.
+SERVE_EXAMPLES = ("three_boxes", "sine_wave_of_boxes", "ferris_wheel",
+                  "chicago_flag")
+
+DEFAULT_BURSTS = 3
+DEFAULT_STEPS_PER_BURST = 5
+
+
+@dataclass(frozen=True)
+class ServeThroughputRow:
+    concurrency: int
+    steps_per_burst: int
+    opens_per_sec: float
+    drag_events_per_sec: float
+    requests: int
+    responses_identical: bool
+
+
+def _burst(round_index: int, steps: int) -> List[List[float]]:
+    """One drag burst: cumulative offsets, deterministic per round."""
+    return [[float((round_index * 7 + sample + 3) % 23),
+             float((round_index * 5 + sample * 2 + 2) % 17)]
+            for sample in range(steps)]
+
+
+def measure_serve_throughput(
+        concurrencies: Sequence[int] = SERVE_CONCURRENCY, *,
+        bursts: int = DEFAULT_BURSTS,
+        steps_per_burst: int = DEFAULT_STEPS_PER_BURST,
+        examples: Sequence[str] = SERVE_EXAMPLES
+        ) -> List[ServeThroughputRow]:
+    rows = []
+    for concurrency in concurrencies:
+        app = ServeApp(manager=SessionManager(
+            max_sessions=max(64, concurrency)))
+        mirrors: Dict[str, LiveSession] = {
+            name: LiveSession(example_source(name))
+            for name in set(examples[i % len(examples)]
+                            for i in range(concurrency))}
+        identical = True
+        requests = 0
+
+        # -- open phase: sessions/sec, shared compile cache hot ------------
+        sessions: List[Tuple[str, str]] = []        # (session id, example)
+        open_elapsed = 0.0
+        for index in range(concurrency):
+            name = examples[index % len(examples)]
+            request = {"cmd": "open", "example": name}
+            start = perf_counter()
+            response = app.handle(request)
+            open_elapsed += perf_counter() - start
+            requests += 1
+            mirror = mirrors[name]
+            identical &= (response.get("ok", False)
+                          and response["svg"] == mirror.export_svg()
+                          and response["source"] == mirror.source())
+            sessions.append((response["session"], name))
+
+        # -- drag phase: bursts of coalesced samples + release -------------
+        drag_elapsed = 0.0
+        drag_events = 0
+        for round_index in range(bursts):
+            steps = _burst(round_index, steps_per_burst)
+            final_dx, final_dy = steps[-1]
+            # Advance each example's mirror once: every session of that
+            # example is in the same state and receives the same gesture.
+            round_keys: Dict[str, Tuple[int, str]] = {}
+            for name, mirror in mirrors.items():
+                keys = sorted(mirror.triggers)
+                key = keys[round_index % len(keys)]
+                round_keys[name] = key
+                mirror.start_drag(*key)
+                mirror.drag(final_dx, final_dy)
+                mirror.release()
+            for sid, name in sessions:
+                shape, zone = round_keys[name]
+                drag_request = {"cmd": "drag", "session": sid,
+                                "shape": shape, "zone": zone,
+                                "steps": steps}
+                release_request = {"cmd": "release", "session": sid}
+                start = perf_counter()
+                dragged = app.handle(drag_request)
+                released = app.handle(release_request)
+                drag_elapsed += perf_counter() - start
+                requests += 2
+                drag_events += len(steps)
+                mirror = mirrors[name]
+                # ``release`` never changes the program, so the drag
+                # response must already show the final geometry.
+                identical &= (dragged.get("ok", False)
+                              and released.get("ok", False)
+                              and dragged["svg"] == released["svg"]
+                              and released["svg"] == mirror.export_svg()
+                              and released["source"] == mirror.source())
+
+        rows.append(ServeThroughputRow(
+            concurrency=concurrency,
+            steps_per_burst=steps_per_burst,
+            opens_per_sec=concurrency / open_elapsed if open_elapsed else 0.0,
+            drag_events_per_sec=(drag_events / drag_elapsed
+                                 if drag_elapsed else 0.0),
+            requests=requests,
+            responses_identical=identical))
+    return rows

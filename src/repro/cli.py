@@ -3,6 +3,7 @@
 Commands:
 
 * ``run FILE.little [-o OUT.svg]`` — evaluate a little program and emit SVG;
+* ``serve [--port N]`` — run the multi-session sync service over HTTP;
 * ``examples [--render DIR]`` — list or render the example corpus;
 * ``import-svg FILE.svg [-o OUT.little]`` — convert SVG to little;
 * ``tables [--out DIR]`` — regenerate the paper's evaluation tables;
@@ -19,15 +20,25 @@ from typing import List, Optional
 
 def _cmd_run(args) -> int:
     from .core.run import run_source
+    from .lang.errors import LittleError
 
-    source = pathlib.Path(args.file).read_text(encoding="utf-8")
+    try:
+        source = pathlib.Path(args.file).read_text(encoding="utf-8")
+    except OSError as error:
+        print(f"repro run: cannot read {args.file}: {error.strerror}",
+              file=sys.stderr)
+        return 1
     # The same staged pipeline the editor runs on; --heuristic additionally
     # exercises the Prepare stages (assignments/triggers/sliders).
-    pipeline = run_source(source,
-                          heuristic=args.heuristic or "fair",
-                          prepare=args.heuristic is not None,
-                          auto_freeze=args.auto_freeze,
-                          prelude_frozen=not args.prelude_unfrozen)
+    try:
+        pipeline = run_source(source,
+                              heuristic=args.heuristic or "fair",
+                              prepare=args.heuristic is not None,
+                              auto_freeze=args.auto_freeze,
+                              prelude_frozen=not args.prelude_unfrozen)
+    except LittleError as error:
+        print(f"repro run: {args.file}: {error}", file=sys.stderr)
+        return 1
     rendered = pipeline.render(include_hidden=args.include_hidden)
     if args.output:
         pathlib.Path(args.output).write_text(rendered + "\n",
@@ -40,6 +51,13 @@ def _cmd_run(args) -> int:
               f"(heuristic={args.heuristic}, "
               f"sliders={len(pipeline.sliders)})", file=sys.stderr)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve.http import run_server
+
+    return run_server(host=args.host, port=args.port,
+                      max_sessions=args.max_sessions, verbose=args.verbose)
 
 
 def _cmd_examples(args) -> int:
@@ -136,6 +154,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  "assignment heuristic and report zone "
                                  "counts on stderr")
     run_parser.set_defaults(handler=_cmd_run)
+
+    serve_parser = commands.add_parser(
+        "serve", help="run the multi-session sync service over HTTP")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8000,
+                              help="TCP port (0 picks a free one)")
+    serve_parser.add_argument("--max-sessions", type=int, default=64,
+                              help="live sessions kept before LRU "
+                                   "eviction to snapshots")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log every request to stderr")
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     examples_parser = commands.add_parser(
         "examples", help="list or render the example corpus")

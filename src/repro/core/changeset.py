@@ -19,6 +19,18 @@ The contract:
 
 ``FULL_CHANGE`` (structural, no loc information) and ``EMPTY_CHANGE``
 (nothing changed) are the two distinguished values.
+
+>>> bool(EMPTY_CHANGE), bool(FULL_CHANGE)
+(False, True)
+>>> EMPTY_CHANGE.union(FULL_CHANGE) is FULL_CHANGE
+True
+>>> from repro.lang.program import parse_program
+>>> program = parse_program("(def x 10) (svg [(rect 'red' x 20 30 40)])")
+>>> moved = program.substitute({program.user_locs()[0]: 50.0})
+>>> moved.last_change
+ChangeSet({x})
+>>> moved.last_change.affects(moved.last_change.idents)
+True
 """
 
 from __future__ import annotations

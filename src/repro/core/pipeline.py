@@ -60,7 +60,20 @@ __all__ = ["SyncPipeline"]
 
 
 class SyncPipeline:
-    """Stateful staged pipeline over one evolving :class:`Program`."""
+    """Stateful staged pipeline over one evolving :class:`Program`.
+
+    >>> pipeline = SyncPipeline.from_source(
+    ...     "(def x 10) (svg [(rect 'teal' x 20 30 40)])")
+    >>> pipeline.run().structural        # first run: everything computed
+    True
+    >>> x = pipeline.program.user_locs()[0]
+    >>> change = pipeline.replace_program(
+    ...     pipeline.program.substitute({x: 50.0}))
+    >>> pipeline.run(change).structural  # guards held: incremental re-run
+    False
+    >>> 'x="50"' in pipeline.render()
+    True
+    """
 
     def __init__(self, program: Program, *, heuristic: str = "fair",
                  record: bool = True):
@@ -145,6 +158,22 @@ class SyncPipeline:
         effective = self.eval_stage(change)
         self.canvas_stage(effective)
         return effective
+
+    def seed_run(self, output, eval_cache: Optional[EvalCache] = None
+                 ) -> ChangeSet:
+        """Adopt a recorded evaluation of ``self.program`` as the Run stage.
+
+        ``output`` (and optionally the :class:`EvalCache` recorded alongside
+        it) must come from evaluating exactly ``self.program`` — e.g. from
+        the serve layer's shared compile cache, so N sessions opening the
+        same source evaluate it once.  The cache is only adopted on a
+        recording pipeline; re-evaluations replace it per pipeline, so
+        sharing is read-only.
+        """
+        self._eval_cache = eval_cache if self.record else None
+        self._pending_output = output
+        self.canvas_stage(FULL_CHANGE)
+        return FULL_CHANGE
 
     # -- stage 2: Assign ---------------------------------------------------------
 

@@ -22,6 +22,13 @@ def run_program(program: Program, *, heuristic: str = "fair",
     editor's Prepare); the default stops after the Run stage, which is all
     a render needs.  ``record=True`` keeps evaluation guards so subsequent
     runs can be incremental (the editor's mode).
+
+    >>> from repro.lang.program import parse_program
+    >>> pipeline = run_program(
+    ...     parse_program("(svg [(circle 'navy' 60 60 25)])"),
+    ...     prepare=True)
+    >>> len(pipeline.canvas), len(pipeline.assignments.chosen) > 0
+    (1, True)
     """
     pipeline = SyncPipeline(program, heuristic=heuristic, record=record)
     if prepare:
@@ -34,7 +41,14 @@ def run_program(program: Program, *, heuristic: str = "fair",
 def run_source(source: str, *, heuristic: str = "fair",
                prepare: bool = False, record: bool = False,
                **parse_options) -> SyncPipeline:
-    """Parse little ``source`` and run it (see :func:`run_program`)."""
+    """Parse little ``source`` and run it (see :func:`run_program`).
+
+    >>> pipeline = run_source("(svg [(rect 'gold' 10 20 30 40)])")
+    >>> print(pipeline.render())
+    <svg xmlns="http://www.w3.org/2000/svg" width="800" height="600">
+      <rect x="10" y="20" width="30" height="40" fill="gold"/>
+    </svg>
+    """
     return run_program(
         parse_program(source, **parse_options),
         heuristic=heuristic, prepare=prepare, record=record)

@@ -40,7 +40,14 @@ class BuiltinSlider:
 
 
 def collect_sliders(program: Program) -> Dict[Loc, BuiltinSlider]:
-    """One slider per range-annotated literal in the user program."""
+    """One slider per range-annotated literal in the user program.
+
+    >>> from repro.lang.program import parse_program
+    >>> program = parse_program(
+    ...     "(def x 10{0-100}) (svg [(rect 'red' x 0 20 20)])")
+    >>> [slider.caption() for slider in collect_sliders(program).values()]
+    ['x = 10.0 [0.0 .. 100.0]']
+    """
     return {
         loc: BuiltinSlider(loc, lo, hi, value)
         for loc, lo, hi, value in program.range_annotations()

@@ -29,6 +29,7 @@ from ..core.changeset import EMPTY_CHANGE, FULL_CHANGE, ChangeSet
 from ..core.pipeline import SyncPipeline
 from ..lang.ast import Loc
 from ..lang.errors import LittleError
+from ..lang.prelude import prelude_rho0
 from ..lang.program import Program, parse_program
 from ..svg.canvas import Canvas
 from ..zones.assignment import CanvasAssignments
@@ -62,7 +63,8 @@ class LiveSession:
                  program: Optional[Program] = None,
                  heuristic: str = "fair",
                  auto_freeze: bool = False,
-                 prelude_frozen: bool = True):
+                 prelude_frozen: bool = True,
+                 seed=None):
         if (source is None) == (program is None):
             raise EditorError("provide exactly one of source or program")
         if program is None:
@@ -73,9 +75,18 @@ class LiveSession:
         self.history: List[Program] = []
         self._drag_base: Optional[Program] = None
         self._drag_trigger: Optional[MouseTrigger] = None
+        self._drag_key: Optional[Tuple[int, str]] = None
+        self._drag_offsets: Optional[Tuple[float, float]] = None
         self._last_result: Optional[TriggerResult] = None
         self._gesture_change: ChangeSet = EMPTY_CHANGE
-        self.run()
+        if seed is not None:
+            # A recorded evaluation of exactly ``program`` (shared compile
+            # cache): skip the redundant evaluation, Prepare from scratch.
+            output, eval_cache = seed
+            self.pipeline.seed_run(output, eval_cache)
+            self.pipeline.prepare(FULL_CHANGE)
+        else:
+            self.run()
 
     # -- pipeline views ----------------------------------------------------------
 
@@ -125,6 +136,11 @@ class LiveSession:
 
     # -- dragging ---------------------------------------------------------------
 
+    @property
+    def dragging(self) -> Optional[Tuple[int, str]]:
+        """The ``(shape_index, zone_name)`` of the drag in flight, if any."""
+        return self._drag_key if self._drag_base is not None else None
+
     def start_drag(self, shape_index: int, zone_name: str) -> None:
         trigger = self.triggers.get((shape_index, zone_name))
         if trigger is None:
@@ -132,6 +148,8 @@ class LiveSession:
                 f"zone {zone_name!r} of shape {shape_index} is Inactive")
         self._drag_base = self.program
         self._drag_trigger = trigger
+        self._drag_key = (shape_index, zone_name)
+        self._drag_offsets = None
         self._last_result = None
         # _gesture_change is NOT reset here: if a previous gesture was
         # never released, its accumulated change must still reach the
@@ -142,6 +160,7 @@ class LiveSession:
         drag start, exactly as in §4.1's τ(dx, dy)."""
         if self._drag_trigger is None or self._drag_base is None:
             raise EditorError("drag without start_drag")
+        self._drag_offsets = (dx, dy)
         result = self._drag_trigger(dx, dy)
         self._last_result = result
         if result.bindings:
@@ -171,6 +190,8 @@ class LiveSession:
             self.history.append(self._drag_base)
         self._drag_base = None
         self._drag_trigger = None
+        self._drag_key = None
+        self._drag_offsets = None
         self.pipeline.prepare(self._gesture_change)
         self._gesture_change = EMPTY_CHANGE
 
@@ -210,6 +231,8 @@ class LiveSession:
             # difference — re-run from scratch.
             self._drag_base = None
             self._drag_trigger = None
+            self._drag_key = None
+            self._drag_offsets = None
             self._gesture_change = EMPTY_CHANGE
             self.pipeline.replace_program(restored, FULL_CHANGE)
             self.pipeline.run(FULL_CHANGE)
@@ -221,6 +244,124 @@ class LiveSession:
         change = self.pipeline.program.last_change
         self.pipeline.replace_program(restored, change)
         self.pipeline.run(change)
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def _program_state(self, program: Program) -> dict:
+        """A JSON-able picture of one program in the session's chain.
+
+        ``user`` is the full list of user-literal values in parse order
+        (stable across re-parses of the same source); ``prelude`` lists the
+        ``(ident, value)`` pairs of any rewritten Prelude literals — Prelude
+        locations are parsed once per process, so their idents are stable
+        for the lifetime of the snapshot's holder.
+        """
+        state = {"user": program.user_values(), "prelude": []}
+        if program.prelude_modified:
+            baseline = prelude_rho0(program.prelude_frozen)
+            state["prelude"] = [
+                [loc.ident, value] for loc, value in program.rho0.items()
+                if loc.in_prelude and baseline.get(loc) != value]
+        return state
+
+    def snapshot(self) -> dict:
+        """Serialize the session to a JSON-able dict (see :meth:`restore`).
+
+        The snapshot captures the full interaction state — undo history,
+        current program, and any drag in flight — as the original source
+        text plus literal-value overlays, so restoring costs one (cacheable)
+        parse instead of storing ASTs.  Snapshots are what the serve layer's
+        :class:`~repro.serve.manager.SessionManager` keeps for sessions it
+        evicts; they are process-local when the Prelude has been modified
+        (Prelude location idents are per-process).
+        """
+        current = self._drag_base if self._drag_base is not None \
+            else self.program
+        drag = None
+        if self._drag_base is not None:
+            dx, dy = self._drag_offsets or (None, None)
+            shape_index, zone_name = self._drag_key
+            drag = {"shape": shape_index, "zone": zone_name,
+                    "dx": dx, "dy": dy}
+        return {
+            "version": 1,
+            "source": current.source,
+            "options": {"heuristic": self.heuristic,
+                        "auto_freeze": current.auto_freeze,
+                        "prelude_frozen": current.prelude_frozen,
+                        "with_prelude": current.with_prelude},
+            "history": [self._program_state(p) for p in self.history],
+            "current": self._program_state(current),
+            "drag": drag,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, *, compile_fn=None) -> "LiveSession":
+        """Rebuild a session from a :meth:`snapshot`.
+
+        ``compile_fn(source, **parse_options)`` must return a tuple of the
+        parsed base :class:`Program` and an optional evaluation seed
+        ``(output, eval_cache)`` for it — the serve layer passes its shared
+        compile cache here; the default parses from scratch.  The restored
+        session is behaviorally identical to the snapshotted one: same
+        rendered output, same undo history, and any in-flight drag is
+        replayed so the gesture can simply continue.
+        """
+        options = snapshot["options"]
+        parse_options = {"auto_freeze": options["auto_freeze"],
+                         "prelude_frozen": options["prelude_frozen"],
+                         "with_prelude": options["with_prelude"]}
+        if compile_fn is None:
+            base, seed = parse_program(snapshot["source"],
+                                       **parse_options), None
+        else:
+            base, seed = compile_fn(snapshot["source"], **parse_options)
+        locs = base.user_locs()
+        base_values = base.user_values()
+        prelude_locs = {loc.ident: loc for loc in base.rho0
+                        if loc.in_prelude}
+
+        def materialize(state: dict) -> Program:
+            values = state["user"]
+            if len(values) != len(locs):
+                raise EditorError("snapshot does not match its source")
+            rho = {loc: value
+                   for loc, value, base_value in zip(locs, values,
+                                                     base_values)
+                   if value != base_value}
+            for ident, value in state["prelude"]:
+                loc = prelude_locs.get(ident)
+                if loc is None:
+                    raise EditorError(
+                        "snapshot references an unknown Prelude location")
+                rho[loc] = value
+            # Always substitute (even an empty ρ) so the chain entries are
+            # distinct objects whose ``last_change`` we may widen below
+            # without touching a shared base program.
+            return base.substitute(rho)
+
+        chain = [materialize(state) for state in snapshot["history"]]
+        chain.append(materialize(snapshot["current"]))
+        # ``undo`` bounds the diff to a program's *predecessor* with
+        # ``last_change``; after a restore every chain entry is a direct
+        # substitution of the base instead, so widen each change to the
+        # union with its predecessor's (a conservative superset of the
+        # true step-over-step diff).
+        own_changes = [program.last_change for program in chain]
+        for index, program in enumerate(chain):
+            if index:
+                program.last_change = \
+                    own_changes[index].union(own_changes[index - 1])
+        current = chain.pop()
+        session = cls(program=current, heuristic=options["heuristic"],
+                      seed=seed if not own_changes[-1] else None)
+        session.history = chain
+        drag = snapshot.get("drag")
+        if drag is not None:
+            session.start_drag(drag["shape"], drag["zone"])
+            if drag["dx"] is not None:
+                session.drag(drag["dx"], drag["dy"])
+        return session
 
     # -- output -----------------------------------------------------------------------
 

@@ -36,15 +36,20 @@ class Program:
     """A parsed little program, ready to evaluate and synthesize against."""
 
     __slots__ = ("user_ast", "source", "with_prelude", "prelude_frozen",
-                 "rho0", "last_change", "_ast", "_num_index",
+                 "auto_freeze", "rho0", "last_change", "_ast", "_num_index",
                  "_prelude_modified")
 
     def __init__(self, user_ast: Expr, *, source: str = "",
-                 with_prelude: bool = True, prelude_frozen: bool = True):
+                 with_prelude: bool = True, prelude_frozen: bool = True,
+                 auto_freeze: bool = False):
         self.user_ast = user_ast
         self.source = source
         self.with_prelude = with_prelude
         self.prelude_frozen = prelude_frozen
+        #: The parse mode that produced ``user_ast`` from ``source`` — kept
+        #: so a snapshot (``LiveSession.snapshot``) can re-parse the same
+        #: program later.
+        self.auto_freeze = auto_freeze
         self._ast: Optional[Expr] = None
         self._num_index: Optional[Dict[Loc, ENum]] = None
         self._prelude_modified = False
@@ -113,6 +118,7 @@ class Program:
         program.source = self.source
         program.with_prelude = self.with_prelude
         program.prelude_frozen = self.prelude_frozen
+        program.auto_freeze = self.auto_freeze
         program._ast = None
         program._prelude_modified = False
         # Only the literals actually rewritten (no-op entries are dropped
@@ -133,6 +139,7 @@ class Program:
         program.source = self.source
         program.with_prelude = self.with_prelude
         program.prelude_frozen = self.prelude_frozen
+        program.auto_freeze = self.auto_freeze
         program.last_change = ChangeSet.of(rho)
         if self.with_prelude:
             program._ast = substitute(self.ast, rho)
@@ -152,9 +159,37 @@ class Program:
 
     # -- queries ---------------------------------------------------------------
 
+    @property
+    def prelude_modified(self) -> bool:
+        """Whether a substitution has rewritten a Prelude literal (only
+        possible when ``prelude_frozen=False``).  Such programs carry their
+        own combined AST instead of the shared Prelude caches."""
+        return self._prelude_modified
+
     def user_locs(self):
-        """Locations of literals in the user program (not the Prelude)."""
+        """Locations of literals in the user program (not the Prelude).
+
+        The list is in parse order, which is stable across re-parses of the
+        same source — the coordinate system snapshots use to name literals.
+        """
         return list(self._index())
+
+    def user_values(self):
+        """Current values of the user literals, in parse order.
+
+        Together with :meth:`user_locs` this gives a serializable picture
+        of the program state: ``source`` (text) plus ``user_values()``
+        (floats) reconstructs any program reached by substitutions, because
+        a substitution never changes the AST shape.
+
+        >>> program = parse_program("(def x 10) (svg [(rect 'red' x 0 5 5)])")
+        >>> program.user_values()
+        [10.0, 0.0, 5.0, 5.0]
+        >>> moved = program.substitute({program.user_locs()[0]: 42.0})
+        >>> moved.user_values()
+        [42.0, 0.0, 5.0, 5.0]
+        """
+        return [num.value for num in self._index().values()]
 
     def range_annotations(self):
         """(loc, lo, hi, current) for every range-annotated literal — the
@@ -177,4 +212,4 @@ def parse_program(source: str, *, with_prelude: bool = True,
     """
     user_ast = parse_top_level(source, auto_freeze=auto_freeze)
     return Program(user_ast, source=source, with_prelude=with_prelude,
-                   prelude_frozen=prelude_frozen)
+                   prelude_frozen=prelude_frozen, auto_freeze=auto_freeze)

@@ -1,0 +1,42 @@
+"""Multi-session sync service: the editor loop as a headless server.
+
+The paper frames prodirect manipulation as an *editor* feature; this
+package turns the same run→assign→trigger substrate
+(:mod:`repro.core.pipeline`) into a service many users drive concurrently:
+
+* :mod:`repro.serve.cache` — shared compile cache: N sessions opening the
+  same program parse and evaluate it once;
+* :mod:`repro.serve.manager` — :class:`SessionManager`: LRU-bounded live
+  sessions with snapshot/rehydrate eviction;
+* :mod:`repro.serve.protocol` — :class:`ServeApp`: the JSON command set
+  (``open`` / ``drag`` / ``release`` / ``set_slider`` / ``undo`` /
+  ``render`` …) with per-session drag-burst coalescing;
+* :mod:`repro.serve.http` — a stdlib HTTP transport
+  (``repro serve --port 8000``).
+
+Everything below the protocol is byte-identical to driving a
+:class:`~repro.editor.session.LiveSession` directly — enforced by
+``tests/test_serve.py`` and the serve-throughput benchmark.
+
+>>> from repro.serve import ServeApp
+>>> app = ServeApp()
+>>> opened = app.handle({"cmd": "open", "example": "three_boxes"})
+>>> opened["ok"], opened["shapes"] > 0
+(True, True)
+>>> moved = app.handle({"cmd": "drag", "session": opened["session"],
+...                     "shape": 0, "zone": "INTERIOR",
+...                     "steps": [[2, 1], [4, 2], [6, 3]]})
+>>> moved["coalesced"]
+3
+>>> app.handle({"cmd": "release", "session": opened["session"]})["ok"]
+True
+"""
+
+from .cache import CompileCache, CompiledProgram
+from .http import make_server, run_server
+from .manager import SessionManager, UnknownSession
+from .protocol import ProtocolError, ServeApp
+
+__all__ = ["CompileCache", "CompiledProgram", "SessionManager",
+           "UnknownSession", "ProtocolError", "ServeApp", "make_server",
+           "run_server"]

@@ -1,0 +1,114 @@
+"""Shared program-compile cache for the serve layer.
+
+Parsing and first evaluation dominate the cost of opening a session (the
+paper's §5.2.3 table puts Parse at a median 53 ms and up to 520 ms), and a
+service's traffic is heavily skewed toward the example corpus — N users
+opening the same program should parse and evaluate it **once**.
+
+:class:`CompileCache` keys on the SHA-256 of the source text plus the parse
+options, and stores the parsed :class:`~repro.lang.program.Program`
+together with its recorded first evaluation (the output value and the
+control-flow guards of :mod:`repro.lang.incremental`).  Everything stored
+is read-only under sharing: ``Program.substitute`` copies, ``reevaluate``
+only reads the guard list, and each session's pipeline replaces — never
+mutates — the cache entry's objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+from typing import Tuple
+
+from ..lang.incremental import EvalCache, record_evaluation
+from ..lang.program import Program, parse_program
+from ..lang.values import Value
+
+__all__ = ["CompileCache", "CompiledProgram"]
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """One cache entry: a parsed program plus its recorded evaluation."""
+
+    program: Program
+    output: Value
+    eval_cache: EvalCache
+
+    @property
+    def seed(self) -> Tuple[Value, EvalCache]:
+        """The ``(output, eval_cache)`` pair a session pipeline adopts
+        via :meth:`~repro.core.pipeline.SyncPipeline.seed_run`."""
+        return (self.output, self.eval_cache)
+
+
+def source_key(source: str, *, auto_freeze: bool = False,
+               prelude_frozen: bool = True,
+               with_prelude: bool = True) -> Tuple[str, bool, bool, bool]:
+    """The cache key: source hash + every option that affects parsing."""
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return (digest, auto_freeze, prelude_frozen, with_prelude)
+
+
+class CompileCache:
+    """An LRU cache of :class:`CompiledProgram`s, safe for threaded use.
+
+    >>> cache = CompileCache(capacity=8)
+    >>> compiled, hit = cache.compile("(svg [(rect 'red' 1 2 3 4)])")
+    >>> hit
+    False
+    >>> again, hit = cache.compile("(svg [(rect 'red' 1 2 3 4)])")
+    >>> hit and again.program is compiled.program
+    True
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[tuple, CompiledProgram]" = OrderedDict()
+        self._lock = Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def compile(self, source: str, *, auto_freeze: bool = False,
+                prelude_frozen: bool = True, with_prelude: bool = True
+                ) -> Tuple[CompiledProgram, bool]:
+        """Parse + evaluate ``source`` (or reuse), returning
+        ``(compiled, cache_hit)``.  Parse and runtime errors propagate as
+        :class:`~repro.lang.errors.LittleError`; failures are not cached.
+        """
+        key = source_key(source, auto_freeze=auto_freeze,
+                         prelude_frozen=prelude_frozen,
+                         with_prelude=with_prelude)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry, True
+        # Compile outside the lock: a slow parse must not stall sessions
+        # hitting other entries.  A racing miss on the same key just
+        # compiles twice; last writer wins, both results are equivalent.
+        program = parse_program(source, auto_freeze=auto_freeze,
+                                prelude_frozen=prelude_frozen,
+                                with_prelude=with_prelude)
+        output, eval_cache = record_evaluation(program)
+        entry = CompiledProgram(program, output, eval_cache)
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return entry, False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"entries": len(self._entries), "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses}

@@ -1,0 +1,129 @@
+"""Stdlib HTTP transport for the serve protocol (no third-party deps).
+
+``POST /api`` with a JSON body is dispatched to
+:meth:`~repro.serve.protocol.ServeApp.handle`; ``GET /healthz`` and
+``GET /stats`` are read-only probes.  The server is a
+:class:`~http.server.ThreadingHTTPServer`, but requests are serialized
+through one lock — session state is mutable and the pipeline is
+single-threaded by design; the threads only keep slow clients from
+blocking the accept loop.
+
+Run it from the CLI (``repro serve --port 8000``) or embed it::
+
+    server = make_server("127.0.0.1", 0, ServeApp())
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from threading import Lock
+from typing import Optional
+
+from .protocol import ProtocolError, ServeApp
+
+__all__ = ["make_server", "run_server"]
+
+#: Upper bound on request bodies (1 MiB) — little programs are a few KB.
+MAX_BODY = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, code: str, message: str) -> None:
+        # The request body may be partly or wholly unread on these paths;
+        # closing keeps a keep-alive client from having its unread bytes
+        # parsed as the next request line.
+        self.close_connection = True
+        self._send_json(status,
+                        ProtocolError(code, message,
+                                      status=status).to_response())
+
+    # -- verbs ------------------------------------------------------------------
+
+    def do_GET(self) -> None:                   # noqa: N802 (stdlib casing)
+        if self.path == "/healthz":
+            self._send_json(200, {"ok": True})
+        elif self.path == "/stats":
+            response = self.server.app.handle({"cmd": "stats"})
+            self._send_json(200, response)
+        else:
+            self._send_error(404, "not_found", f"no route {self.path!r}")
+
+    def do_POST(self) -> None:                  # noqa: N802 (stdlib casing)
+        if self.path not in ("/", "/api"):
+            self._send_error(404, "not_found", f"no route {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if not 0 < length <= MAX_BODY:
+            self._send_error(400, "bad_request",
+                             "Content-Length required (at most 1 MiB)")
+            return
+        try:
+            request = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._send_error(400, "bad_json", "request body is not JSON")
+            return
+        with self.server.dispatch_lock:
+            response = self.server.app.handle(request)
+        status = 200
+        if not response.get("ok"):
+            status = response.get("error", {}).get("status", 400)
+        self._send_json(status, response)
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            sys.stderr.write("%s - %s\n" % (self.address_string(),
+                                            format % args))
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, app: ServeApp, *, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.app = app
+        self.dispatch_lock = Lock()
+        self.verbose = verbose
+
+
+def make_server(host: str, port: int, app: Optional[ServeApp] = None, *,
+                verbose: bool = False) -> _Server:
+    """Bind (but do not start) a protocol server; ``port=0`` auto-picks."""
+    return _Server((host, port), app if app is not None else ServeApp(),
+                   verbose=verbose)
+
+
+def run_server(host: str = "127.0.0.1", port: int = 8000, *,
+               max_sessions: int = 64, verbose: bool = False) -> int:
+    """The CLI entry point: serve until interrupted."""
+    app = ServeApp(max_sessions=max_sessions)
+    server = make_server(host, port, app, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port}/api "
+          f"(max {max_sessions} live sessions; POST JSON, GET /healthz)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down")
+    finally:
+        server.server_close()
+    return 0

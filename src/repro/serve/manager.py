@@ -1,0 +1,150 @@
+"""Session lifecycle for the serve layer: many editors, bounded memory.
+
+A :class:`SessionManager` owns a fleet of
+:class:`~repro.editor.session.LiveSession`s behind opaque string ids.  Two
+mechanisms keep N users affordable:
+
+* a shared :class:`~repro.serve.cache.CompileCache` — sessions opening the
+  same source share one parse and one recorded evaluation
+  (:meth:`~repro.core.pipeline.SyncPipeline.seed_run`);
+* **LRU eviction with transparent rehydration** — only ``max_sessions``
+  live editors are kept; the least-recently-used one is collapsed to a
+  :meth:`~repro.editor.session.LiveSession.snapshot` (source text +
+  literal-value overlays, a few hundred bytes) and rebuilt on its next
+  touch, mid-gesture drags included.  Callers never observe the
+  difference except through :meth:`stats`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from threading import RLock
+from typing import Optional, Tuple
+
+from ..editor.session import LiveSession
+from ..examples.registry import example_source
+from .cache import CompileCache
+
+__all__ = ["SessionManager", "UnknownSession"]
+
+
+class UnknownSession(KeyError):
+    """The session id was never issued, or its snapshot has expired."""
+
+
+class SessionManager:
+    """Owns live sessions, their snapshots, and the shared compile cache.
+
+    >>> manager = SessionManager(max_sessions=2)
+    >>> sid, session, hit = manager.open(source="(svg [(rect 'red' 1 2 3 4)])")
+    >>> hit, len(session.canvas)
+    (False, 1)
+    >>> manager.get(sid) is session
+    True
+    """
+
+    def __init__(self, max_sessions: int = 64, *,
+                 compile_cache_size: int = 128,
+                 snapshot_limit: int = 1024):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.max_sessions = max_sessions
+        self.snapshot_limit = snapshot_limit
+        self.cache = CompileCache(compile_cache_size)
+        self._sessions: "OrderedDict[str, LiveSession]" = OrderedDict()
+        self._snapshots: "OrderedDict[str, dict]" = OrderedDict()
+        self._ids = itertools.count(1)
+        self._lock = RLock()
+        self.opened = 0
+        self.evicted = 0
+        self.rehydrated = 0
+        self.expired = 0
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def open(self, source: Optional[str] = None, *,
+             example: Optional[str] = None, heuristic: str = "fair",
+             auto_freeze: bool = False, prelude_frozen: bool = True
+             ) -> Tuple[str, LiveSession, bool]:
+        """Create a session, returning ``(session_id, session, cache_hit)``.
+
+        Exactly one of ``source`` / ``example`` must be given; ``example``
+        names a program of the bundled corpus
+        (:func:`repro.examples.registry.example_names`).
+        """
+        if (source is None) == (example is None):
+            raise ValueError("provide exactly one of source or example")
+        if example is not None:
+            source = example_source(example)
+        compiled, hit = self.cache.compile(source, auto_freeze=auto_freeze,
+                                           prelude_frozen=prelude_frozen)
+        session = LiveSession(program=compiled.program, heuristic=heuristic,
+                              seed=compiled.seed)
+        with self._lock:
+            sid = f"s{next(self._ids)}"
+            self.opened += 1
+            self._admit(sid, session)
+        return sid, session, hit
+
+    def get(self, session_id: str) -> LiveSession:
+        """The live session for ``session_id``, rehydrating if evicted."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None:
+                self._sessions.move_to_end(session_id)
+                return session
+            snapshot = self._snapshots.pop(session_id, None)
+            if snapshot is None:
+                raise UnknownSession(session_id)
+            session = LiveSession.restore(snapshot,
+                                          compile_fn=self._compile_for_restore)
+            self.rehydrated += 1
+            self._admit(session_id, session)
+            return session
+
+    def close(self, session_id: str) -> None:
+        """Forget a session (live or snapshotted)."""
+        with self._lock:
+            in_live = self._sessions.pop(session_id, None) is not None
+            in_snap = self._snapshots.pop(session_id, None) is not None
+            if not (in_live or in_snap):
+                raise UnknownSession(session_id)
+
+    def session_ids(self):
+        """Ids of all addressable sessions (live first, then evicted)."""
+        with self._lock:
+            return list(self._sessions) + list(self._snapshots)
+
+    # -- internals --------------------------------------------------------------
+
+    def _admit(self, session_id: str, session: LiveSession) -> None:
+        self._sessions[session_id] = session
+        self._sessions.move_to_end(session_id)
+        while len(self._sessions) > self.max_sessions:
+            victim_id, victim = self._sessions.popitem(last=False)
+            self._snapshots[victim_id] = victim.snapshot()
+            self._snapshots.move_to_end(victim_id)
+            self.evicted += 1
+        while len(self._snapshots) > self.snapshot_limit:
+            self._snapshots.popitem(last=False)
+            self.expired += 1
+
+    def _compile_for_restore(self, source: str, **parse_options):
+        compiled, _hit = self.cache.compile(source, **parse_options)
+        return compiled.program, compiled.seed
+
+    # -- introspection ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "live_sessions": len(self._sessions),
+                "snapshotted_sessions": len(self._snapshots),
+                "max_sessions": self.max_sessions,
+                "opened": self.opened,
+                "evicted": self.evicted,
+                "rehydrated": self.rehydrated,
+                "expired": self.expired,
+                "compile_cache": self.cache.stats(),
+            }

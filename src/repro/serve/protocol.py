@@ -1,0 +1,299 @@
+"""JSON protocol over the run→assign→trigger loop (§4.1, as a service).
+
+:class:`ServeApp` maps plain-dict requests onto a
+:class:`~repro.serve.manager.SessionManager`; the HTTP layer
+(:mod:`repro.serve.http`) is a thin transport over :meth:`ServeApp.handle`,
+and tests and benchmarks call it directly.
+
+Requests are ``{"cmd": <name>, ...}``; responses are ``{"ok": true, ...}``
+or ``{"ok": false, "error": {"code": ..., "message": ..., "status": ...}}``
+(``status`` is the HTTP status the transport serves the error with) —
+malformed input of any shape produces a structured error, never a
+traceback.
+
+Commands::
+
+    open        {source | example, heuristic?, auto_freeze?, prelude_frozen?}
+    drag        {session, shape, zone, steps: [[dx, dy], ...]}
+    release     {session}
+    set_slider  {session, loc, value}
+    undo        {session}
+    render      {session, include_hidden?}
+    hover       {session, shape, zone}
+    source      {session}
+    close       {session}
+    stats       {}
+
+``drag`` carries a *burst* of mouse-move samples.  Offsets are cumulative
+from the gesture start (the paper's ``τ(dx, dy)``), so a burst coalesces
+into a single incremental re-run at its final offset — the program state
+after ``[[2,1],[4,2],[6,3]]`` is byte-identical to three separate moves,
+but costs one solver pass and one re-evaluation.
+
+>>> app = ServeApp()
+>>> opened = app.handle({"cmd": "open",
+...                      "source": "(svg [(rect 'red' 10 20 30 40)])"})
+>>> opened["ok"], opened["shapes"]
+(True, 1)
+>>> app.handle({"cmd": "bogus"})["error"]["code"]
+'unknown_command'
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..editor.session import EditorError, LiveSession
+from ..lang.errors import LittleError, LittleSyntaxError
+from .manager import SessionManager, UnknownSession
+
+__all__ = ["ProtocolError", "ServeApp"]
+
+
+class ProtocolError(Exception):
+    """A structured request failure: an error code plus a one-line message."""
+
+    def __init__(self, code: str, message: str, *, status: int = 400):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        #: The HTTP status the transport serves this error with.
+        self.status = status
+
+    def to_response(self) -> dict:
+        return {"ok": False,
+                "error": {"code": self.code, "message": self.message,
+                          "status": self.status}}
+
+
+def _field(request: dict, name: str, kind, *, required: bool = True,
+           default=None):
+    """Extract + type-check one request field, or raise ``bad_request``."""
+    if name not in request:
+        if required:
+            raise ProtocolError("bad_request",
+                                f"missing required field {name!r}")
+        return default
+    value = request[name]
+    if kind is float and isinstance(value, int) \
+            and not isinstance(value, bool):
+        value = float(value)
+    if not isinstance(value, kind) or isinstance(value, bool) \
+            and kind is not bool:
+        raise ProtocolError(
+            "bad_request",
+            f"field {name!r} must be {getattr(kind, '__name__', kind)}")
+    return value
+
+
+class ServeApp:
+    """The protocol layer: one dict in, one dict out, no exceptions."""
+
+    def __init__(self, manager: Optional[SessionManager] = None, *,
+                 max_sessions: int = 64):
+        self.manager = manager if manager is not None \
+            else SessionManager(max_sessions=max_sessions)
+        self._handlers = {
+            "open": self._cmd_open,
+            "drag": self._cmd_drag,
+            "release": self._cmd_release,
+            "set_slider": self._cmd_set_slider,
+            "undo": self._cmd_undo,
+            "render": self._cmd_render,
+            "hover": self._cmd_hover,
+            "source": self._cmd_source,
+            "close": self._cmd_close,
+            "stats": self._cmd_stats,
+        }
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def handle(self, request) -> dict:
+        """Process one request dict; never raises."""
+        try:
+            if not isinstance(request, dict):
+                raise ProtocolError("bad_request",
+                                    "request must be a JSON object")
+            cmd = _field(request, "cmd", str)
+            handler = self._handlers.get(cmd)
+            if handler is None:
+                raise ProtocolError("unknown_command",
+                                    f"unknown command {cmd!r}", status=404)
+            response = handler(request)
+            response["ok"] = True
+            return response
+        except ProtocolError as error:
+            return error.to_response()
+        except UnknownSession as error:
+            return ProtocolError("unknown_session",
+                                 f"unknown session {error.args[0]!r}",
+                                 status=404).to_response()
+        except EditorError as error:
+            return ProtocolError("editor_error", str(error)).to_response()
+        except LittleSyntaxError as error:
+            return ProtocolError("parse_error", str(error)).to_response()
+        except LittleError as error:
+            return ProtocolError("program_error", str(error)).to_response()
+
+    def _session(self, request: dict) -> Tuple[str, LiveSession]:
+        sid = _field(request, "session", str)
+        return sid, self.manager.get(sid)
+
+    @staticmethod
+    def _state(session: LiveSession) -> dict:
+        """The response fields every state-changing command reports."""
+        return {"source": session.source(),
+                "svg": session.export_svg(),
+                "shapes": len(session.canvas),
+                "history": len(session.history)}
+
+    # -- commands ---------------------------------------------------------------
+
+    def _cmd_open(self, request: dict) -> dict:
+        source = _field(request, "source", str, required=False)
+        example = _field(request, "example", str, required=False)
+        if (source is None) == (example is None):
+            raise ProtocolError("bad_request",
+                                "provide exactly one of source or example")
+        heuristic = _field(request, "heuristic", str, required=False,
+                           default="fair")
+        if heuristic not in ("fair", "biased"):
+            raise ProtocolError("bad_request",
+                                "heuristic must be 'fair' or 'biased'")
+        try:
+            sid, session, hit = self.manager.open(
+                source, example=example, heuristic=heuristic,
+                auto_freeze=_field(request, "auto_freeze", bool,
+                                   required=False, default=False),
+                prelude_frozen=_field(request, "prelude_frozen", bool,
+                                      required=False, default=True))
+        except KeyError:
+            raise ProtocolError("unknown_example",
+                                f"unknown example {example!r}", status=404)
+        response = self._state(session)
+        response.update({
+            "session": sid,
+            "cache": "hit" if hit else "miss",
+            "active_zones": session.active_zone_count(),
+            "sliders": [{"loc": slider.loc.display(), "lo": slider.lo,
+                         "hi": slider.hi, "value": slider.value}
+                        for slider in session.sliders.values()],
+        })
+        return response
+
+    def _cmd_drag(self, request: dict) -> dict:
+        sid, session = self._session(request)
+        shape = _field(request, "shape", int)
+        zone = _field(request, "zone", str)
+        steps = _field(request, "steps", list)
+        if not steps:
+            raise ProtocolError("bad_request", "steps must be non-empty")
+        for step in steps:
+            if (not isinstance(step, (list, tuple)) or len(step) != 2
+                    or not all(isinstance(delta, (int, float))
+                               and not isinstance(delta, bool)
+                               for delta in step)):
+                raise ProtocolError(
+                    "bad_request", "each step must be a [dx, dy] pair")
+        if session.dragging is None:
+            session.start_drag(shape, zone)
+        elif session.dragging != (shape, zone):
+            held_shape, held_zone = session.dragging
+            raise ProtocolError(
+                "drag_in_progress",
+                f"session {sid} is dragging zone {held_zone!r} of shape "
+                f"{held_shape}; release it first", status=409)
+        # Offsets are cumulative from the gesture start, so a burst
+        # coalesces into one incremental re-run at its final sample.
+        dx, dy = steps[-1]
+        result = session.drag(float(dx), float(dy))
+        response = self._state(session)
+        response.update({
+            "session": sid,
+            "coalesced": len(steps),
+            "bindings": {loc.display(): value
+                         for loc, value in result.bindings.items()},
+            "solved": [outcome.loc.display() for outcome in result.outcomes
+                       if outcome.solved],
+            "unsolved": [outcome.loc.display()
+                         for outcome in result.outcomes
+                         if not outcome.solved],
+        })
+        return response
+
+    def _cmd_release(self, request: dict) -> dict:
+        sid, session = self._session(request)
+        if session.dragging is None:
+            raise ProtocolError("no_drag",
+                                f"session {sid} has no drag in flight",
+                                status=409)
+        session.release()
+        response = self._state(session)
+        response.update({"session": sid,
+                         "active_zones": session.active_zone_count()})
+        return response
+
+    def _cmd_set_slider(self, request: dict) -> dict:
+        sid, session = self._session(request)
+        name = _field(request, "loc", str)
+        value = _field(request, "value", float)
+        for loc, slider in session.sliders.items():
+            if loc.display() == name:
+                session.set_slider(loc, value)
+                break
+        else:
+            raise ProtocolError(
+                "no_slider", f"no slider named {name!r}; available: "
+                f"{sorted(loc.display() for loc in session.sliders)}",
+                status=404)
+        response = self._state(session)
+        response.update({"session": sid, "loc": name,
+                         "value": session.sliders[loc].value})
+        return response
+
+    def _cmd_undo(self, request: dict) -> dict:
+        sid, session = self._session(request)
+        if not session.history:
+            raise ProtocolError("nothing_to_undo",
+                                f"session {sid} has an empty history",
+                                status=409)
+        session.undo()
+        response = self._state(session)
+        response["session"] = sid
+        return response
+
+    def _cmd_render(self, request: dict) -> dict:
+        sid, session = self._session(request)
+        include_hidden = _field(request, "include_hidden", bool,
+                                required=False, default=False)
+        return {"session": sid,
+                "svg": session.export_svg(include_hidden=include_hidden)}
+
+    def _cmd_hover(self, request: dict) -> dict:
+        sid, session = self._session(request)
+        shape = _field(request, "shape", int)
+        zone = _field(request, "zone", str)
+        if not 0 <= shape < len(session.canvas):
+            raise ProtocolError("bad_request",
+                                f"shape {shape} out of range", status=404)
+        if zone not in session.zone_names(shape):
+            raise ProtocolError(
+                "bad_request", f"shape {shape} has no zone {zone!r}",
+                status=404)
+        info = session.hover(shape, zone)
+        return {"session": sid, "active": info.active,
+                "caption": info.caption,
+                "selected": [loc.display() for loc in info.selected],
+                "unselected": [loc.display() for loc in info.unselected]}
+
+    def _cmd_source(self, request: dict) -> dict:
+        sid, session = self._session(request)
+        return {"session": sid, "source": session.source()}
+
+    def _cmd_close(self, request: dict) -> dict:
+        sid = _field(request, "session", str)
+        self.manager.close(sid)
+        return {"session": sid, "closed": True}
+
+    def _cmd_stats(self, request: dict) -> dict:
+        return {"stats": self.manager.stats()}

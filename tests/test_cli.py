@@ -42,6 +42,44 @@ class TestRun:
         main(["run", str(path), "--include-hidden"])
         assert "<rect" in capsys.readouterr().out
 
+    def test_run_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "absent.little")]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("repro run: cannot read")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_run_unparsable_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "broken.little"
+        path.write_text("(svg [(rect", encoding="utf-8")
+        assert main(["run", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith(f"repro run: {path}:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_run_runtime_error_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "unbound.little"
+        path.write_text("(svg [(rect 'red' nope 1 2 3)])", encoding="utf-8")
+        assert main(["run", str(path)]) == 1
+        assert "repro run:" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_wires_options_through(self, monkeypatch):
+        calls = {}
+
+        def fake_run_server(host, port, *, max_sessions, verbose):
+            calls.update(host=host, port=port, max_sessions=max_sessions,
+                         verbose=verbose)
+            return 0
+
+        import repro.serve.http as serve_http
+        monkeypatch.setattr(serve_http, "run_server", fake_run_server)
+        assert main(["serve", "--port", "0", "--max-sessions", "5"]) == 0
+        assert calls == {"host": "127.0.0.1", "port": 0,
+                         "max_sessions": 5, "verbose": False}
+
 
 class TestExamples:
     def test_list(self, capsys):
