@@ -6,6 +6,9 @@ from .drag_latency import (DEFAULT_EXAMPLES as DRAG_LATENCY_EXAMPLES,
                            ReleaseLatencyRow, measure_drag_latency,
                            measure_release_latency, median_release_speedup,
                            median_speedup, naive_prepare, prepare_equal)
+from .edit_latency import (EDIT_EXAMPLES, EditLatencyRow,
+                           measure_edit_latency, median_edit_speedup,
+                           structural_edit_texts, value_edit_texts)
 from .equation_stats import (EquationTotals, PreEquation, equation_totals,
                              extract_pre_equations)
 from .interactivity import (InteractivityTotals, format_interactivity,
@@ -15,8 +18,9 @@ from .loc_stats import (LocStatsRow, LocTotals, corpus_loc_stats, loc_stats,
 from .perf import (OperationTimes, PerfRow, measure_corpus,
                    measure_example, measure_rows, measure_solve)
 from .report import (PAPER_EQUATION_TOTALS, PAPER_PERF_MS, PAPER_ZONE_TOTALS,
-                     format_drag_latency_table, format_equation_table,
-                     format_loc_rows, format_perf_rows, format_perf_table,
+                     format_drag_latency_table, format_edit_latency_table,
+                     format_equation_table, format_loc_rows,
+                     format_perf_rows, format_perf_table,
                      format_release_latency_table,
                      format_serve_throughput_table, format_zone_rows,
                      format_zone_table)
@@ -33,6 +37,9 @@ __all__ = [
     "RELEASE_EXAMPLES", "ReleaseLatencyRow", "measure_release_latency",
     "median_release_speedup", "naive_prepare", "prepare_equal",
     "format_release_latency_table",
+    "EDIT_EXAMPLES", "EditLatencyRow", "measure_edit_latency",
+    "median_edit_speedup", "structural_edit_texts", "value_edit_texts",
+    "format_edit_latency_table",
     "SERVE_CONCURRENCY", "SERVE_EXAMPLES", "ServeThroughputRow",
     "measure_serve_throughput", "format_serve_throughput_table",
     "EquationTotals", "PreEquation", "equation_totals",

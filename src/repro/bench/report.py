@@ -160,6 +160,29 @@ def format_release_latency_table(rows) -> str:
     return "\n".join(lines)
 
 
+def format_edit_latency_table(rows) -> str:
+    """Before/after table for the edit path: source edits applied per
+    second via ``LiveSession.edit_source`` (value-only and structural)
+    vs. reopening a fresh session on the new text."""
+    from .edit_latency import median_edit_speedup
+
+    lines = [
+        "Edit latency: text edit -> synced canvas, "
+        f"{rows[0].edits if rows else 0} edits per example",
+        f"{'Example':28s}{'reopen/s':>10s}{'value/s':>10s}{'speedup':>9s}"
+        f"{'struct/s':>10s}{'identical':>11s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:28s}{row.naive_eps:>10.1f}{row.fast_eps:>10.1f}"
+            f"{row.speedup:>8.2f}x{row.structural_eps:>10.1f}"
+            f"{'yes' if row.outputs_identical else 'NO':>11s}")
+    if rows:
+        lines.append(f"{'median speedup':28s}{'':>10s}{'':>10s}"
+                     f"{median_edit_speedup(rows):>8.2f}x")
+    return "\n".join(lines)
+
+
 def format_serve_throughput_table(rows) -> str:
     """Load-generator table for the serve layer: protocol requests/sec at
     1/8/64 concurrent sessions, responses verified byte-identical to a

@@ -3,6 +3,8 @@
 Commands:
 
 * ``run FILE.little [-o OUT.svg]`` — evaluate a little program and emit SVG;
+* ``check FILE.little`` — parse + run, exit nonzero with a one-line
+  diagnostic (the editor-integration hook: cheap enough for on-save);
 * ``serve [--port N]`` — run the multi-session sync service over HTTP;
 * ``examples [--render DIR]`` — list or render the example corpus;
 * ``import-svg FILE.svg [-o OUT.little]`` — convert SVG to little;
@@ -18,15 +20,24 @@ import sys
 from typing import List, Optional
 
 
+def _read_source(path: str, command: str) -> Optional[str]:
+    """Read a little file for ``command``, or print the one-line
+    diagnostic and return ``None``."""
+    try:
+        return pathlib.Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        reason = getattr(error, "strerror", None) or "not valid UTF-8"
+        print(f"repro {command}: cannot read {path}: {reason}",
+              file=sys.stderr)
+        return None
+
+
 def _cmd_run(args) -> int:
     from .core.run import run_source
     from .lang.errors import LittleError
 
-    try:
-        source = pathlib.Path(args.file).read_text(encoding="utf-8")
-    except OSError as error:
-        print(f"repro run: cannot read {args.file}: {error.strerror}",
-              file=sys.stderr)
+    source = _read_source(args.file, "run")
+    if source is None:
         return 1
     # The same staged pipeline the editor runs on; --heuristic additionally
     # exercises the Prepare stages (assignments/triggers/sliders).
@@ -50,6 +61,27 @@ def _cmd_run(args) -> int:
         print(f"active zones: {len(pipeline.assignments.chosen)} "
               f"(heuristic={args.heuristic}, "
               f"sliders={len(pipeline.sliders)})", file=sys.stderr)
+    return 0
+
+
+def _cmd_check(args) -> int:
+    from .core.run import run_source
+    from .lang.errors import LittleError
+
+    source = _read_source(args.file, "check")
+    if source is None:
+        return 1
+    # Parse and run through the same pipeline (and hence the same error
+    # path) as ``repro run``, but never render: the output is one line
+    # either way, so editors can surface it verbatim.
+    try:
+        pipeline = run_source(source, auto_freeze=args.auto_freeze,
+                              prelude_frozen=not args.prelude_unfrozen)
+    except LittleError as error:
+        print(f"repro check: {args.file}: {error}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: ok ({len(pipeline.canvas)} shapes, "
+          f"{len(pipeline.program.user_locs())} constants)")
     return 0
 
 
@@ -132,6 +164,15 @@ def _cmd_study(args) -> int:
     return 0
 
 
+def _add_parse_mode_options(parser) -> None:
+    """The parse-mode flags ``run`` and ``check`` share."""
+    parser.add_argument("--auto-freeze", action="store_true",
+                        help="freeze all literals except ?-thawed ones")
+    parser.add_argument("--prelude-unfrozen", action="store_true",
+                        help="treat Prelude literals as thawed, as the "
+                             "editor and tests can")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -144,16 +185,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("-o", "--output")
     run_parser.add_argument("--include-hidden", action="store_true",
                             help="include 'HIDDEN' helper shapes")
-    run_parser.add_argument("--auto-freeze", action="store_true",
-                            help="freeze all literals except ?-thawed ones")
-    run_parser.add_argument("--prelude-unfrozen", action="store_true",
-                            help="treat Prelude literals as thawed, as the "
-                                 "editor and tests can")
+    _add_parse_mode_options(run_parser)
     run_parser.add_argument("--heuristic", choices=("fair", "biased"),
                             help="also run the Prepare stages with this "
                                  "assignment heuristic and report zone "
                                  "counts on stderr")
     run_parser.set_defaults(handler=_cmd_run)
+
+    check_parser = commands.add_parser(
+        "check", help="parse + run a program; nonzero exit and a one-line "
+                      "diagnostic on any error (editor hook)")
+    check_parser.add_argument("file")
+    _add_parse_mode_options(check_parser)
+    check_parser.set_defaults(handler=_cmd_check)
 
     serve_parser = commands.add_parser(
         "serve", help="run the multi-session sync service over HTTP")

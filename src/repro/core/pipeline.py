@@ -110,6 +110,20 @@ class SyncPipeline:
         self.program = program
         return change if change is not None else program.last_change
 
+    def edit_program(self, program: Program,
+                     change: Optional[ChangeSet] = None) -> ChangeSet:
+        """Install an *edited* program and run every stage under its change.
+
+        The change-set-aware counterpart of :meth:`replace_program` for
+        source edits (:func:`repro.lang.diff.diff_source`): a value-only
+        change replays the recorded guards and revalidates the Prepare
+        caches exactly like a drag step; a structural change rebuilds
+        everything.  Returns the effective change set (escalated to
+        ``FULL_CHANGE`` if a guard flipped during the replay).
+        """
+        change = self.replace_program(program, change)
+        return self.run(change)
+
     # -- stage 1: Run ------------------------------------------------------------
 
     def eval_stage(self, change: Optional[ChangeSet] = None) -> ChangeSet:

@@ -18,6 +18,12 @@ history (§6.2), and hover/highlight presentation (§5).  Each drag step
 feeds the pipeline the substitution's change set, so the Run stage replays
 recorded guards instead of re-evaluating, and the release's Prepare only
 re-computes what the gesture's accumulated change could have touched.
+
+The *programmatic* half of the paper's workflow flows through the same
+machinery: :meth:`LiveSession.edit_source` classifies a text edit with the
+structural differ (:mod:`repro.lang.diff`) and routes it through the
+pipeline as a change set, so editing a literal in the text is exactly as
+cheap as dragging it on the canvas.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.changeset import EMPTY_CHANGE, FULL_CHANGE, ChangeSet
 from ..core.pipeline import SyncPipeline
 from ..lang.ast import Loc
+from ..lang.diff import IDENTITY, SourceDiff, diff_source
 from ..lang.errors import LittleError
 from ..lang.prelude import prelude_rho0
 from ..lang.program import Program, parse_program
@@ -218,6 +225,45 @@ class LiveSession:
         change = self.pipeline.replace_program(program)
         self.pipeline.run(change)
 
+    # -- source edits (§4.1, the other half of the loop) ---------------------------
+
+    def edit_source(self, text: str) -> SourceDiff:
+        """Apply a source-text edit to the live program.
+
+        The structural differ (:func:`repro.lang.diff.diff_source`)
+        classifies the edit and re-expresses it against the current
+        program, so a value-only edit (only literal values changed) flows
+        through the incremental pipeline exactly like a drag step — guards
+        replayed, canvas nodes shared, assignments revalidated — while a
+        structural edit re-runs from scratch with surviving literals
+        re-keyed to their old locations.  The previous program is pushed
+        onto the undo history (identity edits excepted), and an in-flight
+        drag gesture is committed first.  The edit is atomic: a parse
+        error propagates as :class:`~repro.lang.errors.LittleSyntaxError`
+        before any state changes, and an edit whose program fails to
+        *run* is rolled back — the session stays on its previous program
+        either way.  Returns the :class:`~repro.lang.diff.SourceDiff`.
+        """
+        diff = diff_source(self.program, text)
+        if self._drag_base is not None:
+            self.release()
+        if diff.kind == IDENTITY:
+            # Same program, new text: adopt it without a history entry or
+            # a re-run — ρ0 is value-identical, so the existing triggers
+            # and caches stay exact.
+            self.pipeline.replace_program(diff.program, diff.change)
+            return diff
+        previous = self.program
+        self.history.append(previous)
+        try:
+            self.pipeline.edit_program(diff.program, diff.change)
+        except LittleError:
+            self.history.pop()
+            self.pipeline.replace_program(previous, FULL_CHANGE)
+            self.pipeline.run(FULL_CHANGE)
+            raise
+        return diff
+
     # -- undo (§6.2) ----------------------------------------------------------------
 
     def undo(self) -> None:
@@ -238,25 +284,32 @@ class LiveSession:
             self.pipeline.run(FULL_CHANGE)
             return
         # Between user actions the current program was derived from the
-        # popped one by a single substitution (drag commit or slider
-        # move), so the inverse change touches exactly the same
-        # locations; drawing-style structural edits start fresh sessions.
+        # popped one by a single step whose ``last_change`` bounds the
+        # difference: a substitution (drag commit, slider move, value-only
+        # source edit) names exactly the touched locations, and a
+        # structural source edit carries ``FULL_CHANGE``.
         change = self.pipeline.program.last_change
         self.pipeline.replace_program(restored, change)
         self.pipeline.run(change)
 
     # -- snapshot / restore ------------------------------------------------------
 
-    def _program_state(self, program: Program) -> dict:
+    def _program_state(self, program: Program,
+                       current_source: str) -> dict:
         """A JSON-able picture of one program in the session's chain.
 
         ``user`` is the full list of user-literal values in parse order
         (stable across re-parses of the same source); ``prelude`` lists the
         ``(ident, value)`` pairs of any rewritten Prelude literals — Prelude
         locations are parsed once per process, so their idents are stable
-        for the lifetime of the snapshot's holder.
+        for the lifetime of the snapshot's holder.  A history entry from
+        before a source edit carries its own ``source`` text, since its
+        overlays are relative to a different base program than the
+        current one's.
         """
         state = {"user": program.user_values(), "prelude": []}
+        if program.source != current_source:
+            state["source"] = program.source
         if program.prelude_modified:
             baseline = prelude_rho0(program.prelude_frozen)
             state["prelude"] = [
@@ -284,14 +337,15 @@ class LiveSession:
             drag = {"shape": shape_index, "zone": zone_name,
                     "dx": dx, "dy": dy}
         return {
-            "version": 1,
+            "version": 2,
             "source": current.source,
             "options": {"heuristic": self.heuristic,
                         "auto_freeze": current.auto_freeze,
                         "prelude_frozen": current.prelude_frozen,
                         "with_prelude": current.with_prelude},
-            "history": [self._program_state(p) for p in self.history],
-            "current": self._program_state(current),
+            "history": [self._program_state(p, current.source)
+                        for p in self.history],
+            "current": self._program_state(current, current.source),
             "drag": drag,
         }
 
@@ -311,17 +365,28 @@ class LiveSession:
         parse_options = {"auto_freeze": options["auto_freeze"],
                          "prelude_frozen": options["prelude_frozen"],
                          "with_prelude": options["with_prelude"]}
-        if compile_fn is None:
-            base, seed = parse_program(snapshot["source"],
-                                       **parse_options), None
-        else:
-            base, seed = compile_fn(snapshot["source"], **parse_options)
-        locs = base.user_locs()
-        base_values = base.user_values()
-        prelude_locs = {loc.ident: loc for loc in base.rho0
-                        if loc.in_prelude}
+        main_source = snapshot["source"]
+        # A session that lived through source edits has history entries
+        # based on *earlier* source texts (each carries its own ``source``
+        # key); compile each distinct base once.
+        bases: Dict[str, tuple] = {}
+
+        def base_for(source: str) -> tuple:
+            cached = bases.get(source)
+            if cached is None:
+                if compile_fn is None:
+                    base, seed = parse_program(source, **parse_options), None
+                else:
+                    base, seed = compile_fn(source, **parse_options)
+                cached = (base, seed, base.user_locs(), base.user_values(),
+                          {loc.ident: loc for loc in base.rho0
+                           if loc.in_prelude})
+                bases[source] = cached
+            return cached
 
         def materialize(state: dict) -> Program:
+            base, _seed, locs, base_values, prelude_locs = \
+                base_for(state.get("source", main_source))
             values = state["user"]
             if len(values) != len(locs):
                 raise EditorError("snapshot does not match its source")
@@ -340,19 +405,27 @@ class LiveSession:
             # without touching a shared base program.
             return base.substitute(rho)
 
-        chain = [materialize(state) for state in snapshot["history"]]
-        chain.append(materialize(snapshot["current"]))
+        states = list(snapshot["history"]) + [snapshot["current"]]
+        sources = [state.get("source", main_source) for state in states]
+        chain = [materialize(state) for state in states]
         # ``undo`` bounds the diff to a program's *predecessor* with
         # ``last_change``; after a restore every chain entry is a direct
-        # substitution of the base instead, so widen each change to the
+        # substitution of its base instead, so widen each change to the
         # union with its predecessor's (a conservative superset of the
-        # true step-over-step diff).
+        # true step-over-step diff).  Consecutive entries from *different*
+        # bases (a source edit happened between them) share no location
+        # coordinate system, so the step is pessimized to ``FULL_CHANGE``.
         own_changes = [program.last_change for program in chain]
         for index, program in enumerate(chain):
-            if index:
+            if not index:
+                continue
+            if sources[index] == sources[index - 1]:
                 program.last_change = \
                     own_changes[index].union(own_changes[index - 1])
+            else:
+                program.last_change = FULL_CHANGE
         current = chain.pop()
+        seed = base_for(main_source)[1]
         session = cls(program=current, heuristic=options["heuristic"],
                       seed=seed if not own_changes[-1] else None)
         session.history = chain

@@ -3,6 +3,7 @@
 from .ast import (ECase, ECons, ELambda, ELet, ENil, ENum, EOp, EStr, EVar,
                   EApp, EBool, Expr, Loc, PBool, PCons, PNil, PNum, PStr,
                   PVar, Pattern, iter_numbers, substitute)
+from .diff import SourceDiff, diff_programs, diff_source
 from .errors import (LittleError, LittleRuntimeError, LittleSyntaxError,
                      MatchFailure, SolverFailure, SvgError)
 from .eval import Env, evaluate, match
@@ -17,6 +18,7 @@ __all__ = [
     "ECase", "ECons", "ELambda", "ELet", "ENil", "ENum", "EOp", "EStr",
     "EVar", "EApp", "EBool", "Expr", "Loc", "PBool", "PCons", "PNil", "PNum",
     "PStr", "PVar", "Pattern", "iter_numbers", "substitute",
+    "SourceDiff", "diff_programs", "diff_source",
     "LittleError", "LittleRuntimeError", "LittleSyntaxError", "MatchFailure",
     "SolverFailure", "SvgError",
     "Env", "evaluate", "match",

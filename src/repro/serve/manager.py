@@ -60,6 +60,12 @@ class SessionManager:
         self.evicted = 0
         self.rehydrated = 0
         self.expired = 0
+        self.edits = 0
+        #: Per-session edit counts by differ classification
+        #: (``identity``/``value``/``structural``/``full``) — load tests
+        #: read these to confirm that value-only edits re-key in place
+        #: instead of re-seeding through the compile cache.
+        self._session_edits: "OrderedDict[str, dict]" = OrderedDict()
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -110,6 +116,15 @@ class SessionManager:
             in_snap = self._snapshots.pop(session_id, None) is not None
             if not (in_live or in_snap):
                 raise UnknownSession(session_id)
+            self._session_edits.pop(session_id, None)
+
+    def record_edit(self, session_id: str, kind: str) -> None:
+        """Count one :meth:`~repro.editor.session.LiveSession.edit_source`
+        call against ``session_id``, keyed by the differ's classification."""
+        with self._lock:
+            self.edits += 1
+            per_session = self._session_edits.setdefault(session_id, {})
+            per_session[kind] = per_session.get(kind, 0) + 1
 
     def session_ids(self):
         """Ids of all addressable sessions (live first, then evicted)."""
@@ -127,7 +142,10 @@ class SessionManager:
             self._snapshots.move_to_end(victim_id)
             self.evicted += 1
         while len(self._snapshots) > self.snapshot_limit:
-            self._snapshots.popitem(last=False)
+            expired_id, _ = self._snapshots.popitem(last=False)
+            # The id is no longer addressable, so its edit counters go too
+            # (otherwise a long-lived server accumulates them forever).
+            self._session_edits.pop(expired_id, None)
             self.expired += 1
 
     def _compile_for_restore(self, source: str, **parse_options):
@@ -146,5 +164,8 @@ class SessionManager:
                 "evicted": self.evicted,
                 "rehydrated": self.rehydrated,
                 "expired": self.expired,
+                "edits": self.edits,
+                "session_edits": {sid: dict(counts) for sid, counts
+                                  in self._session_edits.items()},
                 "compile_cache": self.cache.stats(),
             }

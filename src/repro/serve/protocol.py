@@ -15,6 +15,7 @@ Commands::
 
     open        {source | example, heuristic?, auto_freeze?, prelude_frozen?}
     drag        {session, shape, zone, steps: [[dx, dy], ...]}
+    edit        {session, source}
     release     {session}
     set_slider  {session, loc, value}
     undo        {session}
@@ -30,11 +31,24 @@ into a single incremental re-run at its final offset — the program state
 after ``[[2,1],[4,2],[6,3]]`` is byte-identical to three separate moves,
 but costs one solver pass and one re-evaluation.
 
+``edit`` replaces the session's source text through the structural differ
+(:func:`repro.lang.diff.diff_source`): a value-only edit *re-keys* the
+live session in place — the pipeline replays its recorded evaluation and
+revalidates its Prepare caches, never touching the shared
+:class:`~repro.serve.cache.CompileCache` — instead of re-seeding a fresh
+session from a new compile.  The response reports the classification and
+the rewritten locations; a parse error returns ``parse_error`` and leaves
+the session untouched.
+
 >>> app = ServeApp()
 >>> opened = app.handle({"cmd": "open",
-...                      "source": "(svg [(rect 'red' 10 20 30 40)])"})
+...                      "source": "(def y 20) (svg [(rect 'red' 10 y 30 40)])"})
 >>> opened["ok"], opened["shapes"]
 (True, 1)
+>>> edited = app.handle({"cmd": "edit", "session": opened["session"],
+...                      "source": "(def y 80) (svg [(rect 'red' 10 y 30 40)])"})
+>>> edited["edit"], edited["changed"]
+('value', ['y'])
 >>> app.handle({"cmd": "bogus"})["error"]["code"]
 'unknown_command'
 """
@@ -96,6 +110,7 @@ class ServeApp:
         self._handlers = {
             "open": self._cmd_open,
             "drag": self._cmd_drag,
+            "edit": self._cmd_edit,
             "release": self._cmd_release,
             "set_slider": self._cmd_set_slider,
             "undo": self._cmd_undo,
@@ -147,6 +162,13 @@ class ServeApp:
                 "shapes": len(session.canvas),
                 "history": len(session.history)}
 
+    @staticmethod
+    def _slider_state(session: LiveSession) -> list:
+        """The slider payload ``open`` and ``edit`` responses share."""
+        return [{"loc": slider.loc.display(), "lo": slider.lo,
+                 "hi": slider.hi, "value": slider.value}
+                for slider in session.sliders.values()]
+
     # -- commands ---------------------------------------------------------------
 
     def _cmd_open(self, request: dict) -> dict:
@@ -175,9 +197,7 @@ class ServeApp:
             "session": sid,
             "cache": "hit" if hit else "miss",
             "active_zones": session.active_zone_count(),
-            "sliders": [{"loc": slider.loc.display(), "lo": slider.lo,
-                         "hi": slider.hi, "value": slider.value}
-                        for slider in session.sliders.values()],
+            "sliders": self._slider_state(session),
         })
         return response
 
@@ -218,6 +238,25 @@ class ServeApp:
             "unsolved": [outcome.loc.display()
                          for outcome in result.outcomes
                          if not outcome.solved],
+        })
+        return response
+
+    def _cmd_edit(self, request: dict) -> dict:
+        sid, session = self._session(request)
+        source = _field(request, "source", str)
+        # ``edit_source`` parses before touching any session state, so a
+        # parse error (surfaced by ``handle`` as ``parse_error``) leaves
+        # the session exactly as it was.
+        diff = session.edit_source(source)
+        self.manager.record_edit(sid, diff.kind)
+        response = self._state(session)
+        response.update({
+            "session": sid,
+            "edit": diff.kind,
+            "structural": diff.change.structural,
+            "changed": sorted(loc.display() for loc in diff.change.locs),
+            "active_zones": session.active_zone_count(),
+            "sliders": self._slider_state(session),
         })
         return response
 

@@ -49,6 +49,14 @@ class TestRun:
         assert captured.err.startswith("repro run: cannot read")
         assert len(captured.err.strip().splitlines()) == 1
 
+    def test_run_non_utf8_file_one_line(self, tmp_path, capsys):
+        path = tmp_path / "binary.little"
+        path.write_bytes(b"\xff\xfe\x00")
+        assert main(["run", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro run: cannot read")
+        assert len(captured.err.strip().splitlines()) == 1
+
     def test_run_unparsable_file_exits_nonzero(self, tmp_path, capsys):
         path = tmp_path / "broken.little"
         path.write_text("(svg [(rect", encoding="utf-8")
@@ -63,6 +71,50 @@ class TestRun:
         path.write_text("(svg [(rect 'red' nope 1 2 3)])", encoding="utf-8")
         assert main(["run", str(path)]) == 1
         assert "repro run:" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_check_ok_prints_one_line(self, little_file, capsys):
+        assert main(["check", str(little_file)]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert captured.out.strip() == \
+            f"{little_file}: ok (1 shapes, 4 constants)"
+
+    def test_check_missing_file(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "absent.little")]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("repro check: cannot read")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_check_non_utf8_file_one_line(self, tmp_path, capsys):
+        path = tmp_path / "binary.little"
+        path.write_bytes(b"\xff\xfe\x00")
+        assert main(["check", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("repro check: cannot read")
+        assert "not valid UTF-8" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_check_parse_error_one_line_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "broken.little"
+        path.write_text("(svg [(rect", encoding="utf-8")
+        assert main(["check", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith(f"repro check: {path}:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_check_runtime_error_one_line_diagnostic(self, tmp_path,
+                                                     capsys):
+        path = tmp_path / "unbound.little"
+        path.write_text("(svg [(rect 'red' nope 1 2 3)])", encoding="utf-8")
+        assert main(["check", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "repro check:" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
 
 
 class TestServe:

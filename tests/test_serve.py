@@ -456,3 +456,129 @@ class TestHttpTransport:
             response.read()
         finally:
             conn.close()
+
+
+# ---------------------------------------------------------------------------
+# The edit verb: text edits through the protocol
+# ---------------------------------------------------------------------------
+
+class TestEdit:
+    SOURCE = "(def x 10) (svg [(rect 'teal' x 20 30 40)])"
+
+    def test_value_edit_matches_direct_session(self):
+        app = ServeApp()
+        mirror = LiveSession(self.SOURCE)
+        opened = open_session(app, source=self.SOURCE)
+        text = self.SOURCE.replace("20", "60")
+        edited = app.handle({"cmd": "edit", "session": opened["session"],
+                             "source": text})
+        mirror.edit_source(text)
+        assert edited["ok"]
+        assert edited["edit"] == "value"
+        assert edited["structural"] is False
+        assert len(edited["changed"]) == 1
+        assert edited["svg"] == mirror.export_svg()
+        assert edited["source"] == mirror.source()
+        assert edited["history"] == 1
+
+    def test_value_edit_rekeys_without_touching_compile_cache(self):
+        app = ServeApp()
+        opened = open_session(app, source=self.SOURCE)
+        before = app.handle({"cmd": "stats"})["stats"]
+        for step in range(3):
+            text = self.SOURCE.replace("10", str(50 + step))
+            assert app.handle({"cmd": "edit", "session": opened["session"],
+                               "source": text})["edit"] == "value"
+        after = app.handle({"cmd": "stats"})["stats"]
+        # Re-key, not re-seed: the shared compile cache saw no new
+        # compiles and no hits — the session was edited in place.
+        assert after["compile_cache"]["misses"] == \
+            before["compile_cache"]["misses"]
+        assert after["compile_cache"]["hits"] == \
+            before["compile_cache"]["hits"]
+        assert after["edits"] == before["edits"] + 3
+        assert after["session_edits"][opened["session"]] == {"value": 3}
+
+    def test_structural_edit_reported_and_counted(self):
+        app = ServeApp()
+        opened = open_session(app, source=self.SOURCE)
+        edited = app.handle({
+            "cmd": "edit", "session": opened["session"],
+            "source": "(def x 10) (svg [(rect 'teal' x 20 30 40) "
+                      "(circle 'red' 5 6 7)])"})
+        assert edited["ok"] and edited["edit"] == "structural"
+        assert edited["structural"] is True and edited["shapes"] == 2
+        stats = app.handle({"cmd": "stats"})["stats"]
+        assert stats["session_edits"][opened["session"]] == \
+            {"structural": 1}
+
+    def test_edit_then_drag_matches_direct_session(self):
+        app = ServeApp()
+        mirror = LiveSession(self.SOURCE)
+        opened = open_session(app, source=self.SOURCE)
+        text = self.SOURCE.replace("10", "25")
+        app.handle({"cmd": "edit", "session": opened["session"],
+                    "source": text})
+        mirror.edit_source(text)
+        shape, zone = first_zone(mirror)
+        dragged = app.handle({"cmd": "drag", "session": opened["session"],
+                              "shape": shape, "zone": zone,
+                              "steps": [[4, 3]]})
+        mirror.start_drag(shape, zone)
+        mirror.drag(4.0, 3.0)
+        assert dragged["svg"] == mirror.export_svg()
+
+    def test_edit_survives_eviction_and_rehydration(self):
+        app = ServeApp(manager=SessionManager(max_sessions=1))
+        opened = open_session(app, source=self.SOURCE)
+        text = self.SOURCE.replace("20", "90")
+        app.handle({"cmd": "edit", "session": opened["session"],
+                    "source": text})
+        open_session(app, example="three_boxes")      # evicts the first
+        rendered = app.handle({"cmd": "render",
+                               "session": opened["session"]})
+        mirror = LiveSession(self.SOURCE)
+        mirror.edit_source(text)
+        assert rendered["svg"] == mirror.export_svg()
+        # ... and the rehydrated session can keep editing and undoing.
+        undone = app.handle({"cmd": "undo", "session": opened["session"]})
+        assert undone["svg"] == LiveSession(self.SOURCE).export_svg()
+
+    def test_parse_error_leaves_session_intact(self):
+        app = ServeApp()
+        opened = open_session(app, source=self.SOURCE)
+        bad = app.handle({"cmd": "edit", "session": opened["session"],
+                          "source": "(svg [(rect"})
+        assert not bad["ok"] and bad["error"]["code"] == "parse_error"
+        rendered = app.handle({"cmd": "render",
+                               "session": opened["session"]})
+        assert rendered["ok"] and rendered["svg"] == opened["svg"]
+
+    def test_edit_missing_source_field_is_bad_request(self):
+        app = ServeApp()
+        opened = open_session(app, source=self.SOURCE)
+        response = app.handle({"cmd": "edit",
+                               "session": opened["session"]})
+        assert response["error"]["code"] == "bad_request"
+
+    def test_snapshot_expiry_drops_edit_counters(self):
+        app = ServeApp(manager=SessionManager(max_sessions=1,
+                                              snapshot_limit=1))
+        first = open_session(app, source=self.SOURCE)
+        app.handle({"cmd": "edit", "session": first["session"],
+                    "source": self.SOURCE.replace("10", "11")})
+        open_session(app, example="three_boxes")    # evicts first
+        open_session(app, example="ferris_wheel")   # expires first's snap
+        stats = app.handle({"cmd": "stats"})["stats"]
+        assert stats["expired"] == 1
+        assert first["session"] not in stats["session_edits"]
+
+    def test_close_drops_edit_counters(self):
+        app = ServeApp()
+        opened = open_session(app, source=self.SOURCE)
+        app.handle({"cmd": "edit", "session": opened["session"],
+                    "source": self.SOURCE.replace("10", "11")})
+        app.handle({"cmd": "close", "session": opened["session"]})
+        stats = app.handle({"cmd": "stats"})["stats"]
+        assert opened["session"] not in stats["session_edits"]
+        assert stats["edits"] == 1        # the aggregate count remains
