@@ -22,10 +22,12 @@ from .report import (PAPER_EQUATION_TOTALS, PAPER_PERF_MS, PAPER_ZONE_TOTALS,
                      format_equation_table, format_loc_rows,
                      format_perf_rows, format_perf_table,
                      format_release_latency_table,
+                     format_serve_scaling_table,
                      format_serve_throughput_table, format_zone_rows,
                      format_zone_table)
 from .serve_throughput import (SERVE_CONCURRENCY, SERVE_EXAMPLES,
-                               ServeThroughputRow,
+                               SERVE_WORKERS, ServeScalingRow,
+                               ServeThroughputRow, measure_serve_scaling,
                                measure_serve_throughput)
 from .zone_stats import (ZoneStatsRow, ZoneTotals, corpus_zone_stats,
                          zone_stats, zone_totals)
@@ -40,8 +42,10 @@ __all__ = [
     "EDIT_EXAMPLES", "EditLatencyRow", "measure_edit_latency",
     "median_edit_speedup", "structural_edit_texts", "value_edit_texts",
     "format_edit_latency_table",
-    "SERVE_CONCURRENCY", "SERVE_EXAMPLES", "ServeThroughputRow",
-    "measure_serve_throughput", "format_serve_throughput_table",
+    "SERVE_CONCURRENCY", "SERVE_EXAMPLES", "SERVE_WORKERS",
+    "ServeThroughputRow", "ServeScalingRow", "measure_serve_throughput",
+    "measure_serve_scaling", "format_serve_throughput_table",
+    "format_serve_scaling_table",
     "EquationTotals", "PreEquation", "equation_totals",
     "extract_pre_equations",
     "InteractivityTotals", "format_interactivity", "interactivity_stats",

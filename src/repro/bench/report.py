@@ -202,6 +202,27 @@ def format_serve_throughput_table(rows) -> str:
     return "\n".join(lines)
 
 
+def format_serve_scaling_table(rows) -> str:
+    """Concurrent-scaling table: drag-events/s from N real worker
+    threads on disjoint sessions — global dispatch lock vs per-session
+    locks vs per-session locks + cross-request burst coalescing."""
+    lines = [
+        "Serve scaling: drag-events/s, N worker threads on disjoint "
+        "sessions",
+        f"{'workers':>8s}{'global/s':>11s}{'shard/s':>11s}"
+        f"{'coalesce/s':>12s}{'speedup':>9s}{'identical':>11s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.workers:>8d}{row.global_eps:>11.1f}{row.shard_eps:>11.1f}"
+            f"{row.coalesce_eps:>12.1f}{row.speedup:>8.2f}x"
+            f"{'yes' if row.responses_identical else 'NO':>11s}")
+    lines.append("(global = one dispatch lock, eager re-runs; shard = "
+                 "per-session locks; coalesce = queued bursts applied as "
+                 "one re-run)")
+    return "\n".join(lines)
+
+
 def format_perf_rows(rows) -> str:
     """Appendix G per-example timing table (median ms per operation)."""
     lines = [

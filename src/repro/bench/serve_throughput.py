@@ -1,21 +1,33 @@
-"""Serve-throughput benchmark: the JSON protocol under concurrent sessions.
+"""Serve-throughput benchmarks: the JSON protocol under concurrent load.
 
-A load generator drives :class:`~repro.serve.protocol.ServeApp` with N
-interleaved sessions — open, then rounds of drag bursts + release — and
-measures **sessions opened/sec** (where the shared compile cache pays off:
-N sessions opening the same corpus program parse and evaluate it once) and
-**drag-events/sec** (where per-session burst coalescing pays off: a burst
-of K cumulative mouse samples costs one incremental re-run).
+Two tables:
 
-Every response is verified byte-identical to a direct
-:class:`~repro.editor.session.LiveSession` driven with the same inputs.
-Sessions opened on the same example receive identical gesture sequences,
-so one mirror session per example is the exact direct-path state for all
-of them; the mirrors advance outside the timed regions.
+* **interleaved throughput** (:func:`measure_serve_throughput`) — a
+  single-threaded load generator interleaves N sessions and measures
+  sessions opened/sec (shared compile cache) and drag-events/sec
+  (per-request burst coalescing);
+* **concurrent scaling** (:func:`measure_serve_scaling`) — a *real*
+  thread pool of N worker clients hammers disjoint sessions, comparing
+  three server configurations at each worker count:
+
+  - ``global`` — every request serialized through one global dispatch
+    lock with eager per-request re-runs (the pre-sharding PR 3 server);
+  - ``shard`` — per-session locks + sharded manager, same eager
+    requests (on a GIL interpreter this measures lock overhead; on a
+    free-threaded/multi-core build it scales with cores);
+  - ``coalesce`` — per-session locks + cross-request drag coalescing
+    (``"sync": false`` acknowledged bursts applied as one re-run at the
+    next state-bearing command), the flood-tolerant client protocol the
+    per-session ordering machinery makes safe.
+
+Every state-bearing response is verified byte-identical to a direct
+:class:`~repro.editor.session.LiveSession` driven with the same inputs;
+verification happens outside the timed regions.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Sequence, Tuple
@@ -25,11 +37,15 @@ from ..examples.registry import example_source
 from ..serve.manager import SessionManager
 from ..serve.protocol import ServeApp
 
-__all__ = ["SERVE_CONCURRENCY", "SERVE_EXAMPLES", "ServeThroughputRow",
-           "measure_serve_throughput"]
+__all__ = ["SERVE_CONCURRENCY", "SERVE_EXAMPLES", "SERVE_WORKERS",
+           "ServeThroughputRow", "ServeScalingRow",
+           "measure_serve_throughput", "measure_serve_scaling"]
 
 #: Concurrency levels of the load table (sessions interleaved per round).
 SERVE_CONCURRENCY = (1, 8, 64)
+
+#: Worker-thread counts of the scaling table (one disjoint session each).
+SERVE_WORKERS = (1, 4, 16)
 
 #: Corpus programs the generator cycles over: the "hello world", the
 #: running example, a case study, and a heavy multi-shape canvas.
@@ -135,4 +151,155 @@ def measure_serve_throughput(
                                  if drag_elapsed else 0.0),
             requests=requests,
             responses_identical=identical))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Concurrent scaling: real worker threads on disjoint sessions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ServeScalingRow:
+    workers: int
+    global_eps: float           # drag-events/s, global dispatch lock
+    shard_eps: float            # drag-events/s, per-session locks
+    coalesce_eps: float         # drag-events/s, + cross-request coalescing
+    speedup: float              # coalesce_eps / global_eps
+    responses_identical: bool
+
+
+def _scaling_source(index: int) -> str:
+    """One small program per worker: disjoint sessions, disjoint compile
+    cache entries (the scaling table measures dispatch, not the cache)."""
+    return (f"(def x {10 + index})\n"
+            f"(svg [(rect 'teal' x 20 30 40) (rect 'navy' 90 x 20 25)])")
+
+
+def _drive_workers(handle, workers: int, *, rounds: int,
+                   bursts: int, steps_per_burst: int, coalesce: bool
+                   ) -> Tuple[int, float, bool]:
+    """Hammer a server (its ``handle`` callable) from ``workers`` client
+    threads, one disjoint session each; returns
+    ``(drag_events, elapsed, identical)``.  Each
+    round sends ``bursts`` cumulative-sample bursts then a release;
+    with ``coalesce`` the bursts are ``"sync": false`` acknowledgements
+    and only the release re-runs.  Responses are recorded inside the
+    timed region and verified against per-worker mirrors outside it."""
+    sources = [_scaling_source(i) for i in range(workers)]
+    opened = [handle({"cmd": "open", "source": source})
+              for source in sources]
+    sessions = [response["session"] for response in opened]
+    mirrors = [LiveSession(source) for source in sources]
+    keys = [sorted(mirror.triggers)[0] for mirror in mirrors]
+    recorded: List[List[dict]] = [[] for _ in range(workers)]
+    barrier = threading.Barrier(workers + 1)
+
+    def burst_steps(round_index: int, burst: int) -> List[List[float]]:
+        return [[float(1 + (round_index * 7 + burst * 3 + s) % 19),
+                 float(1 + (round_index * 5 + burst * 2 + s) % 13)]
+                for s in range(steps_per_burst)]
+
+    def worker(index: int):
+        sid = sessions[index]
+        shape, zone = keys[index]
+        out = recorded[index]
+        barrier.wait()
+        for round_index in range(rounds):
+            for burst in range(bursts):
+                request = {"cmd": "drag", "session": sid, "shape": shape,
+                           "zone": zone,
+                           "steps": burst_steps(round_index, burst)}
+                if coalesce:
+                    request["sync"] = False
+                out.append(handle(request))
+            out.append(handle({"cmd": "release", "session": sid}))
+
+    threads = [threading.Thread(target=worker, args=(index,))
+               for index in range(workers)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = perf_counter() - start
+
+    identical = all(response["ok"] for response in opened)
+    for index in range(workers):
+        identical &= opened[index]["svg"] == mirrors[index].export_svg()
+        mirror = mirrors[index]
+        shape, zone = keys[index]
+        position = 0
+        for round_index in range(rounds):
+            mirror.start_drag(shape, zone)
+            for burst in range(bursts):
+                response = recorded[index][position]
+                position += 1
+                if not response.get("ok"):
+                    identical = False
+                elif coalesce:
+                    identical &= response["queued"] == steps_per_burst
+                else:
+                    # Eager mode: every drag response shows the geometry
+                    # at its burst's final cumulative sample.
+                    dx, dy = burst_steps(round_index, burst)[-1]
+                    mirror.drag(dx, dy)
+                    identical &= response["svg"] == mirror.export_svg()
+            if coalesce:
+                dx, dy = burst_steps(round_index, bursts - 1)[-1]
+                mirror.drag(dx, dy)
+            mirror.release()
+            released = recorded[index][position]
+            position += 1
+            identical &= (released.get("ok", False)
+                          and released["svg"] == mirror.export_svg()
+                          and released["source"] == mirror.source())
+    events = workers * rounds * bursts * steps_per_burst
+    return events, elapsed, identical
+
+
+def measure_serve_scaling(worker_counts: Sequence[int] = SERVE_WORKERS, *,
+                          rounds: int = 3, bursts: int = 6,
+                          steps_per_burst: int = 5
+                          ) -> List[ServeScalingRow]:
+    """The scaling table: drag-events/s at N concurrent worker threads
+    on disjoint sessions, global-lock baseline vs the sharded server."""
+    rows = []
+    for workers in worker_counts:
+        # Baseline: the pre-sharding server — one global dispatch lock.
+        app = ServeApp(manager=SessionManager(max_sessions=workers + 1))
+        global_lock = threading.Lock()
+
+        def locked_handle(request, _app=app, _lock=global_lock):
+            with _lock:
+                return _app.handle(request)
+
+        events, elapsed, ok_global = _drive_workers(
+            locked_handle, workers, rounds=rounds, bursts=bursts,
+            steps_per_burst=steps_per_burst, coalesce=False)
+        global_eps = events / elapsed if elapsed else 0.0
+
+        # Sharded: per-session locks, eager per-request re-runs.
+        app = ServeApp(manager=SessionManager(max_sessions=workers + 1,
+                                              shards=4))
+        events, elapsed, ok_shard = _drive_workers(
+            app.handle, workers, rounds=rounds, bursts=bursts,
+            steps_per_burst=steps_per_burst, coalesce=False)
+        shard_eps = events / elapsed if elapsed else 0.0
+
+        # Sharded + cross-request coalescing of acknowledged bursts.
+        app = ServeApp(manager=SessionManager(max_sessions=workers + 1,
+                                              shards=4))
+        events, elapsed, ok_coalesce = _drive_workers(
+            app.handle, workers, rounds=rounds, bursts=bursts,
+            steps_per_burst=steps_per_burst, coalesce=True)
+        coalesce_eps = events / elapsed if elapsed else 0.0
+
+        rows.append(ServeScalingRow(
+            workers=workers,
+            global_eps=global_eps,
+            shard_eps=shard_eps,
+            coalesce_eps=coalesce_eps,
+            speedup=coalesce_eps / global_eps if global_eps else 0.0,
+            responses_identical=ok_global and ok_shard and ok_coalesce))
     return rows

@@ -89,7 +89,8 @@ def _cmd_serve(args) -> int:
     from .serve.http import run_server
 
     return run_server(host=args.host, port=args.port,
-                      max_sessions=args.max_sessions, verbose=args.verbose)
+                      max_sessions=args.max_sessions, shards=args.shards,
+                      workers=args.workers, verbose=args.verbose)
 
 
 def _cmd_examples(args) -> int:
@@ -207,6 +208,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--max-sessions", type=int, default=64,
                               help="live sessions kept before LRU "
                                    "eviction to snapshots")
+    serve_parser.add_argument("--shards", type=int, default=4,
+                              help="independent session shards (each with "
+                                   "its own lock, LRU budget, and "
+                                   "snapshot store)")
+    serve_parser.add_argument("--workers", type=int, default=0,
+                              help="max requests dispatched concurrently "
+                                   "(0 = unbounded; same-session requests "
+                                   "always serialize)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log every request to stderr")
     serve_parser.set_defaults(handler=_cmd_serve)

@@ -148,11 +148,20 @@ class LiveSession:
         """The ``(shape_index, zone_name)`` of the drag in flight, if any."""
         return self._drag_key if self._drag_base is not None else None
 
-    def start_drag(self, shape_index: int, zone_name: str) -> None:
+    def check_drag(self, shape_index: int, zone_name: str):
+        """The trigger a drag of this zone would fire, or
+        :class:`EditorError` if the zone is not an Active drag target —
+        the same validation (and message) ``start_drag`` applies, for
+        callers that must reject a gesture without starting it (the
+        serve layer's queued drags)."""
         trigger = self.triggers.get((shape_index, zone_name))
         if trigger is None:
             raise EditorError(
                 f"zone {zone_name!r} of shape {shape_index} is Inactive")
+        return trigger
+
+    def start_drag(self, shape_index: int, zone_name: str) -> None:
+        trigger = self.check_drag(shape_index, zone_name)
         self._drag_base = self.program
         self._drag_trigger = trigger
         self._drag_key = (shape_index, zone_name)

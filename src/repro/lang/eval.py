@@ -9,6 +9,7 @@ record data flow only.
 from __future__ import annotations
 
 import sys
+import threading
 from typing import Dict, Optional
 
 from .ast import (ECase, ECons, ELambda, ELet, ENil, ENum, EOp, EStr, EVar,
@@ -22,9 +23,27 @@ from ..trace.trace import OpTrace
 
 _MIN_RECURSION_LIMIT = 20000
 
-#: Active guard recorder (see :mod:`repro.lang.incremental`), or ``None``.
-#: When set, every value-dependent control-flow decision is recorded.
-_RECORDER = None
+#: Active guard recorder (see :mod:`repro.lang.incremental`), per thread.
+#: When set, every value-dependent control-flow decision on this thread is
+#: recorded.  A process-global here would let two sessions recording
+#: concurrently pollute each other's guard lists — ``reevaluate`` would
+#: then silently validate stale outputs (found by the serve concurrency
+#: harness, ``tests/test_serve_concurrency.py``).
+#: The recording checkpoints below read ``getattr(_RECORDERS, "value",
+#: None)`` inline rather than calling :func:`get_recorder` — a
+#: deliberate hot-path optimization (comparisons run in the evaluator's
+#: inner loop); keep the helper and the inline reads in sync.
+_RECORDERS = threading.local()
+
+
+def get_recorder():
+    """This thread's active guard recorder, or ``None``."""
+    return getattr(_RECORDERS, "value", None)
+
+
+def set_recorder(recorder) -> None:
+    """Install (or clear, with ``None``) this thread's guard recorder."""
+    _RECORDERS.value = recorder
 
 
 _MISSING = object()
@@ -59,8 +78,9 @@ def match(pattern: Pattern, value: Value) -> Optional[Dict[str, Value]]:
         return {pattern.name: value}
     if isinstance(pattern, PNum):
         matched = isinstance(value, VNum) and value.value == pattern.value
-        if _RECORDER is not None and isinstance(value, VNum):
-            _RECORDER.num_matches.append(
+        recorder = getattr(_RECORDERS, "value", None)
+        if recorder is not None and isinstance(value, VNum):
+            recorder.num_matches.append(
                 (value.trace, pattern.value, matched))
         return {} if matched else None
     if isinstance(pattern, PStr):
@@ -249,8 +269,9 @@ def _eval_op(expr: EOp, env: Env) -> Value:
                 return VNum(av * bv, OpTrace("*", (a.trace, b.trace)))
             if op == "<":
                 outcome = av < bv
-                if _RECORDER is not None:
-                    _RECORDER.comparisons.append(
+                recorder = getattr(_RECORDERS, "value", None)
+                if recorder is not None:
+                    recorder.comparisons.append(
                         ("<", a.trace, b.trace, outcome))
                 return _TRUE if outcome else _FALSE
             if op in NUMERIC_OPS:
@@ -290,14 +311,16 @@ def _eval_op(expr: EOp, env: Env) -> Value:
                 outcome = left.value <= right.value
             else:
                 outcome = left.value >= right.value
-            if _RECORDER is not None:
-                _RECORDER.comparisons.append(
+            recorder = getattr(_RECORDERS, "value", None)
+            if recorder is not None:
+                recorder.comparisons.append(
                     (op, left.trace, right.trace, outcome))
             return _bool(outcome)
         if op == "toString":
             rendered = format_number(args[0].value)
-            if _RECORDER is not None:
-                _RECORDER.tostrings.append((args[0].trace, rendered))
+            recorder = getattr(_RECORDERS, "value", None)
+            if recorder is not None:
+                recorder.tostrings.append((args[0].trace, rendered))
             return VStr(rendered)
 
     if op == "not" and isinstance(args[0], VBool):

@@ -70,12 +70,12 @@ def record_evaluation(program) -> Tuple[Value, EvalCache]:
     from . import eval as eval_module
 
     recorder = Recorder()
-    previous = eval_module._RECORDER
-    eval_module._RECORDER = recorder
+    previous = eval_module.get_recorder()
+    eval_module.set_recorder(recorder)
     try:
         output = program.evaluate()
     finally:
-        eval_module._RECORDER = previous
+        eval_module.set_recorder(previous)
     return output, EvalCache(output, recorder)
 
 

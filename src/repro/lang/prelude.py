@@ -6,12 +6,22 @@ safe.  ``frozen=True`` (the default) freezes every Prelude literal, per §2.2;
 ``frozen=False`` is used by experiments that enumerate *all* candidate
 updates, including Prelude locations (paper Figure 1D shows ρ3 and ρ4 before
 freezing is taken into account).
+
+The caches are **single-flight**: a bare ``lru_cache`` lets two threads
+race the first miss and parse the Prelude twice, yielding two distinct
+``Loc`` identity sets — one ends up inside the cached ``prelude_env``'s
+traces, the other inside a racing program's ρ0, and the solver later
+fails with "location with no value in rho".  All entry points therefore
+compute under one re-entrant lock, so every consumer observes Prelude
+locations from the same parse.  (Found by the serve concurrency harness;
+see ``tests/test_serve_concurrency.py``.)
 """
 
 from __future__ import annotations
 
 import importlib.resources
 from functools import lru_cache
+from threading import RLock
 from typing import Dict, Tuple
 
 from .ast import Expr, Loc, Pattern, iter_numbers
@@ -19,34 +29,37 @@ from .parser import parse_definition_sequence
 
 Binding = Tuple[Pattern, Expr, bool]
 
+#: One lock for every Prelude cache: computations nest (env → bindings →
+#: source), hence re-entrant.  Warm hits pay one uncontended acquire.
+_PRELUDE_LOCK = RLock()
+
 
 @lru_cache(maxsize=None)
-def prelude_source() -> str:
+def _prelude_source() -> str:
     resource = importlib.resources.files("repro.lang").joinpath(
         "programs/prelude.little")
     return resource.read_text(encoding="utf-8")
 
 
+def prelude_source() -> str:
+    with _PRELUDE_LOCK:
+        return _prelude_source()
+
+
 @lru_cache(maxsize=2)
-def prelude_bindings(frozen: bool = True) -> Tuple[Binding, ...]:
-    """The Prelude as a tuple of (pattern, expr, recursive) bindings."""
+def _prelude_bindings(frozen: bool) -> Tuple[Binding, ...]:
     return tuple(parse_definition_sequence(
         prelude_source(), auto_freeze=frozen, in_prelude=True))
 
 
-@lru_cache(maxsize=2)
-def prelude_env(frozen: bool = True):
-    """The Prelude evaluated once per freeze mode into a single flat
-    environment (the live-sync fast path of §5.2.3: Prelude values never
-    change during a drag, so re-evaluating the ``ELet`` spine on every
-    mouse-move is pure waste).
+def prelude_bindings(frozen: bool = True) -> Tuple[Binding, ...]:
+    """The Prelude as a tuple of (pattern, expr, recursive) bindings."""
+    with _PRELUDE_LOCK:
+        return _prelude_bindings(frozen)
 
-    All bindings land in one shared dict: each definition is evaluated in
-    the environment-so-far, exactly as the nested-let spine would, and
-    closures capture the flat env so recursive definitions see themselves.
-    The returned env is treated as read-only; callers evaluate user code
-    in child environments.
-    """
+
+@lru_cache(maxsize=2)
+def _prelude_env(frozen: bool):
     from .errors import MatchFailure
     from .eval import Env, _eval, match
 
@@ -60,7 +73,31 @@ def prelude_env(frozen: bool = True):
     return base
 
 
+def prelude_env(frozen: bool = True):
+    """The Prelude evaluated once per freeze mode into a single flat
+    environment (the live-sync fast path of §5.2.3: Prelude values never
+    change during a drag, so re-evaluating the ``ELet`` spine on every
+    mouse-move is pure waste).
+
+    All bindings land in one shared dict: each definition is evaluated in
+    the environment-so-far, exactly as the nested-let spine would, and
+    closures capture the flat env so recursive definitions see themselves.
+    The returned env is treated as read-only; callers evaluate user code
+    in child environments.
+    """
+    with _PRELUDE_LOCK:
+        return _prelude_env(frozen)
+
+
 @lru_cache(maxsize=2)
+def _prelude_rho0(frozen: bool) -> Dict[Loc, float]:
+    rho0: Dict[Loc, float] = {}
+    for _pattern, bound, _rec in prelude_bindings(frozen):
+        for num in iter_numbers(bound):
+            rho0[num.loc] = num.value
+    return rho0
+
+
 def prelude_rho0(frozen: bool = True) -> Dict[Loc, float]:
     """ρ0 restricted to Prelude literals, computed once per freeze mode.
 
@@ -68,8 +105,5 @@ def prelude_rho0(frozen: bool = True) -> Dict[Loc, float]:
     re-walking the combined Prelude+user AST every time.  Callers must not
     mutate the returned dict.
     """
-    rho0: Dict[Loc, float] = {}
-    for _pattern, bound, _rec in prelude_bindings(frozen):
-        for num in iter_numbers(bound):
-            rho0[num.loc] = num.value
-    return rho0
+    with _PRELUDE_LOCK:
+        return _prelude_rho0(frozen)

@@ -4,15 +4,21 @@ The paper frames prodirect manipulation as an *editor* feature; this
 package turns the same run→assign→trigger substrate
 (:mod:`repro.core.pipeline`) into a service many users drive concurrently:
 
-* :mod:`repro.serve.cache` — shared compile cache: N sessions opening the
-  same program parse and evaluate it once;
-* :mod:`repro.serve.manager` — :class:`SessionManager`: LRU-bounded live
-  sessions with snapshot/rehydrate eviction;
+* :mod:`repro.serve.cache` — shared compile cache with single-flight
+  compilation: N sessions opening the same program parse and evaluate it
+  once, even when they open concurrently;
+* :mod:`repro.serve.shard` — :class:`SessionShard`: one slice of the
+  fleet with its own lock, live-session LRU budget, and snapshot store;
+* :mod:`repro.serve.manager` — :class:`SessionManager`: the coordinator —
+  sessions hashed across shards, per-session locks (same-session requests
+  strictly ordered, different sessions in parallel), eviction
+  rebalancing by migration, snapshot/rehydrate eviction;
 * :mod:`repro.serve.protocol` — :class:`ServeApp`: the JSON command set
   (``open`` / ``drag`` / ``release`` / ``set_slider`` / ``undo`` /
-  ``render`` …) with per-session drag-burst coalescing;
-* :mod:`repro.serve.http` — a stdlib HTTP transport
-  (``repro serve --port 8000``).
+  ``render`` …) with per-session drag-burst coalescing and optional
+  monotonic sequence numbers;
+* :mod:`repro.serve.http` — a stdlib HTTP transport with concurrent
+  dispatch (``repro serve --port 8000 --shards 4``).
 
 Everything below the protocol is byte-identical to driving a
 :class:`~repro.editor.session.LiveSession` directly — enforced by
@@ -34,9 +40,11 @@ True
 
 from .cache import CompileCache, CompiledProgram
 from .http import make_server, run_server
-from .manager import SessionManager, UnknownSession
+from .manager import SessionExpired, SessionManager, UnknownSession
 from .protocol import ProtocolError, ServeApp
+from .shard import SessionShard, shard_index
 
 __all__ = ["CompileCache", "CompiledProgram", "SessionManager",
+           "SessionExpired", "SessionShard", "shard_index",
            "UnknownSession", "ProtocolError", "ServeApp", "make_server",
            "run_server"]

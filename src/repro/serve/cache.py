@@ -19,8 +19,8 @@ from __future__ import annotations
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from threading import Lock
-from typing import Tuple
+from threading import Event, Lock
+from typing import Dict, Tuple
 
 from ..lang.incremental import EvalCache, record_evaluation
 from ..lang.program import Program, parse_program
@@ -52,8 +52,22 @@ def source_key(source: str, *, auto_freeze: bool = False,
     return (digest, auto_freeze, prelude_frozen, with_prelude)
 
 
+class _Flight:
+    """One in-progress compilation that concurrent misses wait on."""
+
+    __slots__ = ("done", "entry", "error")
+
+    def __init__(self):
+        self.done = Event()
+        self.entry = None
+        self.error = None
+
+
 class CompileCache:
-    """An LRU cache of :class:`CompiledProgram`s, safe for threaded use.
+    """An LRU cache of :class:`CompiledProgram`s with **single-flight**
+    compilation: when N threads miss on the same key at once, one thread
+    parses and evaluates while the rest block on its result — the work
+    happens exactly once, never raced or duplicated.
 
     >>> cache = CompileCache(capacity=8)
     >>> compiled, hit = cache.compile("(svg [(rect 'red' 1 2 3 4)])")
@@ -70,7 +84,10 @@ class CompileCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        #: Opens served by *waiting* on another thread's compilation.
+        self.coalesced = 0
         self._entries: "OrderedDict[tuple, CompiledProgram]" = OrderedDict()
+        self._inflight: Dict[tuple, _Flight] = {}
         self._lock = Lock()
 
     def __len__(self) -> int:
@@ -92,23 +109,50 @@ class CompileCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return entry, True
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            # Single-flight: block on the leader's parse + evaluation
+            # instead of duplicating it; its failure is our failure.
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self.hits += 1
+                self.coalesced += 1
+            return flight.entry, True
         # Compile outside the lock: a slow parse must not stall sessions
-        # hitting other entries.  A racing miss on the same key just
-        # compiles twice; last writer wins, both results are equivalent.
-        program = parse_program(source, auto_freeze=auto_freeze,
-                                prelude_frozen=prelude_frozen,
-                                with_prelude=with_prelude)
-        output, eval_cache = record_evaluation(program)
-        entry = CompiledProgram(program, output, eval_cache)
+        # hitting other entries.
+        try:
+            program = parse_program(source, auto_freeze=auto_freeze,
+                                    prelude_frozen=prelude_frozen,
+                                    with_prelude=with_prelude)
+            output, eval_cache = record_evaluation(program)
+            entry = CompiledProgram(program, output, eval_cache)
+        except BaseException as error:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.error = error
+            flight.done.set()
+            raise
         with self._lock:
             self.misses += 1
             self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+            self._inflight.pop(key, None)
+        flight.entry = entry
+        flight.done.set()
         return entry, False
 
     def stats(self) -> dict:
         with self._lock:
             return {"entries": len(self._entries), "capacity": self.capacity,
-                    "hits": self.hits, "misses": self.misses}
+                    "hits": self.hits, "misses": self.misses,
+                    "coalesced": self.coalesced}

@@ -3,12 +3,15 @@
 ``POST /api`` with a JSON body is dispatched to
 :meth:`~repro.serve.protocol.ServeApp.handle`; ``GET /healthz`` and
 ``GET /stats`` are read-only probes.  The server is a
-:class:`~http.server.ThreadingHTTPServer`, but requests are serialized
-through one lock — session state is mutable and the pipeline is
-single-threaded by design; the threads only keep slow clients from
-blocking the accept loop.
+:class:`~http.server.ThreadingHTTPServer` and requests dispatch
+**concurrently**: the protocol layer serializes only commands for the
+same session (per-session locks in
+:class:`~repro.serve.manager.SessionManager`), so requests for different
+sessions execute in parallel on the server threads.  An optional
+``workers`` bound caps in-flight dispatches with a semaphore — excess
+requests queue at the gate instead of oversubscribing the interpreter.
 
-Run it from the CLI (``repro serve --port 8000``) or embed it::
+Run it from the CLI (``repro serve --port 8000 --shards 4``) or embed it::
 
     server = make_server("127.0.0.1", 0, ServeApp())
     threading.Thread(target=server.serve_forever, daemon=True).start()
@@ -19,7 +22,7 @@ from __future__ import annotations
 import json
 import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from threading import Lock
+from threading import BoundedSemaphore
 from typing import Optional
 
 from .protocol import ProtocolError, ServeApp
@@ -81,8 +84,12 @@ class _Handler(BaseHTTPRequestHandler):
         except (json.JSONDecodeError, UnicodeDecodeError):
             self._send_error(400, "bad_json", "request body is not JSON")
             return
-        with self.server.dispatch_lock:
+        gate = self.server.dispatch_gate
+        if gate is None:
             response = self.server.app.handle(request)
+        else:
+            with gate:
+                response = self.server.app.handle(request)
         status = 200
         if not response.get("ok"):
             status = response.get("error", {}).get("status", 400)
@@ -98,28 +105,41 @@ class _Server(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, app: ServeApp, *, verbose: bool = False):
+    def __init__(self, address, app: ServeApp, *, verbose: bool = False,
+                 workers: int = 0):
         super().__init__(address, _Handler)
         self.app = app
-        self.dispatch_lock = Lock()
+        #: ``None`` = unbounded concurrent dispatch (per-session locks
+        #: still order same-session requests); N > 0 = at most N
+        #: requests inside ``ServeApp.handle`` at once.  The bound
+        #: exists to stop interpreter oversubscription, not to schedule
+        #: fairly: a slot is held while a request waits on its session
+        #: lock, so size it above the expected same-session queue depth
+        #: or a flood on one session can stall others at the gate.
+        self.dispatch_gate = BoundedSemaphore(workers) if workers > 0 \
+            else None
         self.verbose = verbose
 
 
 def make_server(host: str, port: int, app: Optional[ServeApp] = None, *,
-                verbose: bool = False) -> _Server:
+                verbose: bool = False, workers: int = 0) -> _Server:
     """Bind (but do not start) a protocol server; ``port=0`` auto-picks."""
     return _Server((host, port), app if app is not None else ServeApp(),
-                   verbose=verbose)
+                   verbose=verbose, workers=workers)
 
 
 def run_server(host: str = "127.0.0.1", port: int = 8000, *,
-               max_sessions: int = 64, verbose: bool = False) -> int:
+               max_sessions: int = 64, shards: int = 4, workers: int = 0,
+               verbose: bool = False) -> int:
     """The CLI entry point: serve until interrupted."""
-    app = ServeApp(max_sessions=max_sessions)
-    server = make_server(host, port, app, verbose=verbose)
+    app = ServeApp(max_sessions=max_sessions, shards=shards)
+    server = make_server(host, port, app, verbose=verbose, workers=workers)
     bound_host, bound_port = server.server_address[:2]
+    nshards = len(app.manager.shards)
     print(f"repro serve: listening on http://{bound_host}:{bound_port}/api "
-          f"(max {max_sessions} live sessions; POST JSON, GET /healthz)")
+          f"(max {max_sessions} live sessions over {nshards} shards"
+          f"{f', {workers} workers' if workers else ''}; "
+          f"POST JSON, GET /healthz)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

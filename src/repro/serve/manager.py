@@ -1,36 +1,85 @@
-"""Session lifecycle for the serve layer: many editors, bounded memory.
+"""Session lifecycle for the serve layer: many editors, true concurrency.
 
 A :class:`SessionManager` owns a fleet of
-:class:`~repro.editor.session.LiveSession`s behind opaque string ids.  Two
-mechanisms keep N users affordable:
+:class:`~repro.editor.session.LiveSession`\\ s behind opaque string ids,
+split across N :class:`~repro.serve.shard.SessionShard`\\ s (sessions
+placed by stable hash of their id).  The concurrency contract:
 
-* a shared :class:`~repro.serve.cache.CompileCache` — sessions opening the
-  same source share one parse and one recorded evaluation
-  (:meth:`~repro.core.pipeline.SyncPipeline.seed_run`);
-* **LRU eviction with transparent rehydration** — only ``max_sessions``
-  live editors are kept; the least-recently-used one is collapsed to a
-  :meth:`~repro.editor.session.LiveSession.snapshot` (source text +
-  literal-value overlays, a few hundred bytes) and rebuilt on its next
-  touch, mid-gesture drags included.  Callers never observe the
-  difference except through :meth:`stats`.
+* **requests for different sessions run in parallel** — each session has
+  its own lock (:meth:`locked`), and shard bookkeeping locks are held
+  only for dict operations;
+* **requests for the same session are strictly ordered** — the protocol
+  layer holds the session lock for the whole command, and an optional
+  per-session monotonic sequence number (:meth:`peek_seq`/:meth:`bump_seq`)
+  lets clients *detect* duplicated or re-ordered requests instead of
+  silently applying them;
+* **eviction never tears a session** — a shard over its live budget first
+  *migrates* its least-recently-used idle session to the coldest
+  under-budget shard, and only snapshots
+  (:meth:`~repro.editor.session.LiveSession.snapshot`) when every shard
+  is full; a session whose lock is held (mid-drag) is skipped, never
+  snapshotted mid-operation;
+* a shared single-flight :class:`~repro.serve.cache.CompileCache` —
+  concurrent opens of the same source block on **one** parse and one
+  recorded evaluation instead of racing.
+
+Snapshots transparently rehydrate on the next touch, mid-gesture drags
+included; a session whose snapshot was expired to bound the store is
+remembered as a tombstone, so callers get the distinct
+:class:`SessionExpired` (HTTP 410) instead of the never-issued
+:class:`UnknownSession` (HTTP 404).
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from threading import RLock
-from typing import Optional, Tuple
+from contextlib import contextmanager
+from threading import RLock, get_ident
+from typing import Dict, List, Optional, Tuple
 
 from ..editor.session import LiveSession
 from ..examples.registry import example_source
 from .cache import CompileCache
+from .shard import SessionShard, shard_index
 
-__all__ = ["SessionManager", "UnknownSession"]
+__all__ = ["SessionManager", "SessionExpired", "UnknownSession"]
 
 
 class UnknownSession(KeyError):
-    """The session id was never issued, or its snapshot has expired."""
+    """The session id was never issued."""
+
+
+class SessionExpired(UnknownSession):
+    """The session id was issued, but its snapshot was expired to keep
+    the eviction store bounded — distinct from a never-issued id."""
+
+
+class _SessionEntry:
+    """Coordinator-side state that survives eviction and migration:
+    the per-session lock, sequence number, home shard, queued (not yet
+    applied) drag samples, and edit counters."""
+
+    __slots__ = ("lock", "seq", "shard", "pending", "edits", "owner",
+                 "depth")
+
+    def __init__(self, shard: SessionShard):
+        self.lock = RLock()
+        self.seq = 0
+        self.shard = shard
+        #: Thread currently inside :meth:`SessionManager.locked` (and
+        #: its nesting depth) — lets the evictor refuse a victim whose
+        #: RLock it could acquire *re-entrantly* (its own command's
+        #: session), which would tear the session it is serving.
+        self.owner: Optional[int] = None
+        self.depth = 0
+        #: ``(shape, zone, count, [dx, dy])`` — acknowledged-but-unapplied
+        #: drag samples (cumulative from gesture start).  Only the count
+        #: and the *final* sample are kept: the flush re-runs once at the
+        #: last cumulative offset, so a client streaming moves for hours
+        #: costs O(1) memory, not one stored pair per sample.
+        self.pending: Optional[Tuple[int, str, int, list]] = None
+        self.edits: Dict[str, int] = {}
 
 
 class SessionManager:
@@ -44,28 +93,43 @@ class SessionManager:
     True
     """
 
-    def __init__(self, max_sessions: int = 64, *,
+    def __init__(self, max_sessions: int = 64, *, shards: int = 1,
                  compile_cache_size: int = 128,
                  snapshot_limit: int = 1024):
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        shards = min(shards, max_sessions)
         self.max_sessions = max_sessions
         self.snapshot_limit = snapshot_limit
         self.cache = CompileCache(compile_cache_size)
-        self._sessions: "OrderedDict[str, LiveSession]" = OrderedDict()
-        self._snapshots: "OrderedDict[str, dict]" = OrderedDict()
+        # Snapshot budgets get a floor of 1 so a small global limit split
+        # across shards never silently expires an eviction on the spot
+        # (the effective global bound rounds up to at most one per shard).
+        self.shards: List[SessionShard] = [
+            SessionShard(index,
+                         budget=self._split(max_sessions, shards, index),
+                         snapshot_budget=max(1, self._split(
+                             snapshot_limit, shards, index)))
+            for index in range(shards)]
+        self._entries: Dict[str, _SessionEntry] = {}
+        #: Tombstones of expired ids (bounded FIFO): distinguishes
+        #: ``SessionExpired`` from ``UnknownSession``.
+        self._expired_ids: "OrderedDict[str, bool]" = OrderedDict()
+        self._expired_limit = max(1024, 4 * snapshot_limit)
         self._ids = itertools.count(1)
-        self._lock = RLock()
+        self._lock = RLock()        # coordinator bookkeeping only
         self.opened = 0
-        self.evicted = 0
-        self.rehydrated = 0
         self.expired = 0
         self.edits = 0
-        #: Per-session edit counts by differ classification
-        #: (``identity``/``value``/``structural``/``full``) — load tests
-        #: read these to confirm that value-only edits re-key in place
-        #: instead of re-seeding through the compile cache.
-        self._session_edits: "OrderedDict[str, dict]" = OrderedDict()
+        self.migrations = 0
+
+    @staticmethod
+    def _split(total: int, parts: int, index: int) -> int:
+        """Distribute ``total`` over ``parts`` shards (first shards take
+        the remainder)."""
+        return total // parts + (1 if index < total % parts else 0)
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -89,64 +153,284 @@ class SessionManager:
                               seed=compiled.seed)
         with self._lock:
             sid = f"s{next(self._ids)}"
+            shard = self.shards[shard_index(sid, len(self.shards))]
+        # Admit before registering the entry: once an entry exists, an
+        # entry with no backing store means "expiry in flight", so the
+        # stores must never lag behind the entry.
+        shard.admit(sid, session)
+        with self._lock:
+            self._entries[sid] = _SessionEntry(shard)
             self.opened += 1
-            self._admit(sid, session)
+        self._shed(shard, exclude=sid)
         return sid, session, hit
 
     def get(self, session_id: str) -> LiveSession:
-        """The live session for ``session_id``, rehydrating if evicted."""
-        with self._lock:
-            session = self._sessions.get(session_id)
-            if session is not None:
-                self._sessions.move_to_end(session_id)
-                return session
-            snapshot = self._snapshots.pop(session_id, None)
-            if snapshot is None:
-                raise UnknownSession(session_id)
-            session = LiveSession.restore(snapshot,
-                                          compile_fn=self._compile_for_restore)
-            self.rehydrated += 1
-            self._admit(session_id, session)
+        """The live session for ``session_id``, rehydrating if evicted.
+
+        Acquires (and releases) the per-session lock; concurrent callers
+        that need the session to *stay* theirs for a whole command use
+        :meth:`locked` instead.
+        """
+        with self.locked(session_id) as session:
             return session
+
+    @contextmanager
+    def locked(self, session_id: str):
+        """Hold ``session_id``'s lock for a whole command: requests for
+        the same session serialize in arrival order; requests for other
+        sessions proceed in parallel.  Rehydrates evicted sessions."""
+        entry = self._entry(session_id)
+        try:
+            with entry.lock:
+                entry.owner = get_ident()
+                entry.depth += 1
+                try:
+                    yield self._materialize(session_id, entry)
+                finally:
+                    entry.depth -= 1
+                    if entry.depth == 0:
+                        entry.owner = None
+        finally:
+            # A shard can be left over budget when every victim was busy
+            # at admit time; completing a request (even a failed one) is
+            # the retry point — our own session is fair game again now
+            # its lock is free.
+            self._shed(entry.shard, exclude=None)
 
     def close(self, session_id: str) -> None:
         """Forget a session (live or snapshotted)."""
-        with self._lock:
-            in_live = self._sessions.pop(session_id, None) is not None
-            in_snap = self._snapshots.pop(session_id, None) is not None
-            if not (in_live or in_snap):
-                raise UnknownSession(session_id)
-            self._session_edits.pop(session_id, None)
+        entry = self._entry(session_id)
+        with entry.lock:
+            entry.shard.forget(session_id)
+            with self._lock:
+                self._entries.pop(session_id, None)
 
     def record_edit(self, session_id: str, kind: str) -> None:
         """Count one :meth:`~repro.editor.session.LiveSession.edit_source`
         call against ``session_id``, keyed by the differ's classification."""
+        entry = self._entry(session_id)
         with self._lock:
             self.edits += 1
-            per_session = self._session_edits.setdefault(session_id, {})
-            per_session[kind] = per_session.get(kind, 0) + 1
+            entry.edits[kind] = entry.edits.get(kind, 0) + 1
 
-    def session_ids(self):
-        """Ids of all addressable sessions (live first, then evicted)."""
+    def session_ids(self) -> List[str]:
+        """Ids of all addressable sessions (live first, then evicted).
+
+        Only *issued* ids are listed (a session whose ``open`` has not
+        returned yet is filtered out), and a session caught between
+        stores mid-migration is still listed as live — every returned
+        id is addressable at the moment it was read.
+        """
         with self._lock:
-            return list(self._sessions) + list(self._snapshots)
+            known = set(self._entries)
+        seen = set()
+        live, snapshotted = [], []
+        for shard in self.shards:
+            shard_live, shard_snapshotted = shard.ids()
+            # ``seen`` also de-duplicates a session caught mid-migration
+            # (listed by its source shard, then again by its target).
+            for sid in shard_live:
+                if sid in known and sid not in seen:
+                    seen.add(sid)
+                    live.append(sid)
+            for sid in shard_snapshotted:
+                if sid in known and sid not in seen:
+                    seen.add(sid)
+                    snapshotted.append(sid)
+        live.extend(sid for sid in known if sid not in seen)
+        return live + snapshotted
+
+    # -- per-session ordering ----------------------------------------------------
+
+    def peek_seq(self, session_id: str) -> int:
+        """The session's current sequence number: accepted operations
+        so far (acknowledged-but-queued drags included)."""
+        return self._held_entry(session_id).seq
+
+    def bump_seq(self, session_id: str) -> int:
+        """Advance the sequence number for one applied operation.  The
+        caller must hold the session lock (:meth:`locked`)."""
+        entry = self._held_entry(session_id)
+        entry.seq += 1
+        return entry.seq
+
+    # -- queued drags ------------------------------------------------------------
+
+    def pending_drag(self, session_id: str
+                     ) -> Optional[Tuple[int, str, int, list]]:
+        return self._held_entry(session_id).pending
+
+    def drop_pending(self, session_id: str) -> None:
+        """Discard queued drag samples without applying them — used when
+        a newer cumulative sample for the same gesture supersedes them.
+        Caller holds the session lock."""
+        self._held_entry(session_id).pending = None
+
+    def queue_drag(self, session_id: str, shape: int, zone: str,
+                   steps: list) -> int:
+        """Acknowledge drag samples without applying them; returns the
+        total queued.  Offsets are cumulative from the gesture start, so
+        only the count and the final sample are retained.  Caller holds
+        the session lock and has checked the gesture matches."""
+        entry = self._held_entry(session_id)
+        count = len(steps) if entry.pending is None \
+            else entry.pending[2] + len(steps)
+        entry.pending = (shape, zone, count, list(steps[-1]))
+        return count
+
+    def flush_pending(self, session_id: str, session: LiveSession) -> None:
+        """Apply queued drag samples as **one** incremental re-run at the
+        final cumulative sample.  Caller holds the session lock."""
+        entry = self._held_entry(session_id)
+        self._flush(entry, session)
+
+    @staticmethod
+    def _flush(entry: _SessionEntry, session: LiveSession) -> None:
+        if entry.pending is None:
+            return
+        shape, zone, _count, last = entry.pending
+        # Cleared in the finally so a failed apply surfaces its error
+        # exactly once (matching an eager client whose drag failed)
+        # instead of poisoning every subsequent command.
+        try:
+            if session.dragging is None:
+                session.start_drag(shape, zone)
+            dx, dy = last
+            session.drag(float(dx), float(dy))
+        finally:
+            entry.pending = None
 
     # -- internals --------------------------------------------------------------
 
-    def _admit(self, session_id: str, session: LiveSession) -> None:
-        self._sessions[session_id] = session
-        self._sessions.move_to_end(session_id)
-        while len(self._sessions) > self.max_sessions:
-            victim_id, victim = self._sessions.popitem(last=False)
-            self._snapshots[victim_id] = victim.snapshot()
-            self._snapshots.move_to_end(victim_id)
-            self.evicted += 1
-        while len(self._snapshots) > self.snapshot_limit:
-            expired_id, _ = self._snapshots.popitem(last=False)
-            # The id is no longer addressable, so its edit counters go too
-            # (otherwise a long-lived server accumulates them forever).
-            self._session_edits.pop(expired_id, None)
-            self.expired += 1
+    def _entry(self, session_id: str) -> _SessionEntry:
+        with self._lock:
+            entry = self._entries.get(session_id)
+            if entry is not None:
+                return entry
+            if session_id in self._expired_ids:
+                raise SessionExpired(session_id)
+            raise UnknownSession(session_id)
+
+    def _held_entry(self, session_id: str) -> _SessionEntry:
+        """Entry lookup for the per-session accessors, whose callers
+        already hold the session lock (:meth:`locked`): a plain dict
+        read suffices — the entry object cannot be swapped while the
+        lock is held (ids are never reused) — sparing the coordinator
+        lock on every hot-path operation.  Falls back to :meth:`_entry`
+        for the precise expired/unknown error when the id is gone."""
+        entry = self._entries.get(session_id)
+        return entry if entry is not None else self._entry(session_id)
+
+    def _materialize(self, session_id: str, entry: _SessionEntry
+                     ) -> LiveSession:
+        """Find or rehydrate the session.  Caller holds the session lock,
+        so the home shard cannot change underneath us."""
+        shard = entry.shard
+        session = shard.touch(session_id)
+        if session is not None:
+            return session
+        snapshot = shard.pop_snapshot(session_id)
+        if snapshot is None:
+            # Closed or expired while we waited on the lock.  If the
+            # entry is already gone, _entry reports the precise error;
+            # if it still exists with no backing store, an expiry
+            # (store_snapshot popped us, _expire hasn't tombstoned us
+            # yet) is in flight — report it as such, not as a 404.
+            self._entry(session_id)
+            raise SessionExpired(session_id)
+        session = LiveSession.restore(snapshot,
+                                      compile_fn=self._compile_for_restore)
+        shard.note_rehydrated()
+        shard.admit(session_id, session)
+        self._shed(shard, exclude=session_id)
+        return session
+
+    def _shed(self, shard: SessionShard, *,
+              exclude: Optional[str]) -> None:
+        """Bring ``shard`` back inside its live budget: migrate the
+        least-recently-used idle session to the coldest under-budget
+        shard, else snapshot it.  Sessions whose lock is held (a request
+        — or drag — is in flight) are skipped, never torn."""
+        while shard.over_budget():
+            progressed = False
+            for victim_id in shard.lru_live_ids():
+                if exclude is not None and victim_id == exclude:
+                    continue
+                with self._lock:
+                    entry = self._entries.get(victim_id)
+                if entry is None or entry.shard is not shard:
+                    continue
+                if entry.owner == get_ident():
+                    # Our own in-flight command's session: the RLock
+                    # would let us acquire it re-entrantly and tear the
+                    # session we are serving.
+                    continue
+                if not entry.lock.acquire(blocking=False):
+                    continue                # mid-request: never evict
+                try:
+                    session = shard.remove_live(victim_id)
+                    if session is None:
+                        continue            # touched or closed meanwhile
+                    target = self._coldest(exclude=shard)
+                    if target is not None \
+                            and target.admit_within_budget(victim_id,
+                                                           session):
+                        entry.shard = target
+                        with self._lock:
+                            self.migrations += 1
+                        shard.note_migration(inbound=False)
+                        target.note_migration(inbound=True)
+                    else:
+                        try:
+                            self._flush(entry, session)
+                            snapshot = session.snapshot()
+                        except Exception:
+                            # A failed flush or snapshot must not destroy
+                            # the victim or poison the bystander request
+                            # that triggered shedding: drop the queued
+                            # gesture, put the victim back (as MRU), and
+                            # stay over budget until a later request
+                            # retries the shed.
+                            entry.pending = None
+                            shard.admit(victim_id, session)
+                            return
+                        expired = shard.store_snapshot(victim_id,
+                                                       snapshot)
+                        shard.note_evicted()
+                        self._expire(expired)
+                    progressed = True
+                    break
+                finally:
+                    entry.lock.release()
+            if not progressed:
+                break                       # everything busy: stay over
+                                            # budget until requests drain
+
+    def _coldest(self, *, exclude: SessionShard) -> Optional[SessionShard]:
+        """The least-loaded shard with live headroom, if any."""
+        best = None
+        for shard in self.shards:
+            if shard is exclude:
+                continue
+            count = shard.live_count()
+            if count < shard.budget and (best is None or count < best[0]):
+                best = (count, shard)
+        return best[1] if best else None
+
+    def _expire(self, session_ids: List[str]) -> None:
+        if not session_ids:
+            return
+        with self._lock:
+            for sid in session_ids:
+                if self._entries.pop(sid, None) is None:
+                    # Closed concurrently (the entry is already gone):
+                    # a tombstone would resurrect it as "expired" when
+                    # the client explicitly forgot it.
+                    continue
+                self._expired_ids[sid] = True
+                self.expired += 1
+            while len(self._expired_ids) > self._expired_limit:
+                self._expired_ids.popitem(last=False)
 
     def _compile_for_restore(self, source: str, **parse_options):
         compiled, _hit = self.cache.compile(source, **parse_options)
@@ -155,17 +439,24 @@ class SessionManager:
     # -- introspection ----------------------------------------------------------
 
     def stats(self) -> dict:
+        per_shard = [shard.stats() for shard in self.shards]
         with self._lock:
+            session_edits = {sid: dict(entry.edits)
+                             for sid, entry in self._entries.items()
+                             if entry.edits}
             return {
-                "live_sessions": len(self._sessions),
-                "snapshotted_sessions": len(self._snapshots),
+                "live_sessions": sum(s["live"] for s in per_shard),
+                "snapshotted_sessions": sum(s["snapshots"]
+                                            for s in per_shard),
                 "max_sessions": self.max_sessions,
+                "shards": len(self.shards),
                 "opened": self.opened,
-                "evicted": self.evicted,
-                "rehydrated": self.rehydrated,
+                "evicted": sum(s["evicted"] for s in per_shard),
+                "rehydrated": sum(s["rehydrated"] for s in per_shard),
                 "expired": self.expired,
+                "migrations": self.migrations,
                 "edits": self.edits,
-                "session_edits": {sid: dict(counts) for sid, counts
-                                  in self._session_edits.items()},
+                "session_edits": session_edits,
+                "per_shard": per_shard,
                 "compile_cache": self.cache.stats(),
             }

@@ -14,22 +14,38 @@ traceback.
 Commands::
 
     open        {source | example, heuristic?, auto_freeze?, prelude_frozen?}
-    drag        {session, shape, zone, steps: [[dx, dy], ...]}
-    edit        {session, source}
-    release     {session}
-    set_slider  {session, loc, value}
-    undo        {session}
+    drag        {session, shape, zone, steps: [[dx, dy], ...], sync?, seq?}
+    edit        {session, source, seq?}
+    release     {session, seq?}
+    set_slider  {session, loc, value, seq?}
+    undo        {session, seq?}
     render      {session, include_hidden?}
     hover       {session, shape, zone}
     source      {session}
     close       {session}
     stats       {}
 
+**Concurrency contract.**  ``handle`` may be called from many threads at
+once: commands for *different* sessions run in parallel, while commands
+for the *same* session serialize on its per-session lock, in arrival
+order.  A state-changing command may carry ``seq``, a client-side
+monotonic sequence number: the server accepts it only when it equals the
+session's accepted-operation count plus one (acknowledged-but-queued
+``"sync": false`` bursts count as accepted), answering ``stale_seq``
+(duplicate or re-ordered, HTTP 409) or ``seq_gap`` (a lost request,
+HTTP 409) otherwise — out-of-order drags are *detected*, never silently
+applied.  Every state-changing response carries the session's new ``seq``.
+
 ``drag`` carries a *burst* of mouse-move samples.  Offsets are cumulative
 from the gesture start (the paper's ``τ(dx, dy)``), so a burst coalesces
 into a single incremental re-run at its final offset — the program state
 after ``[[2,1],[4,2],[6,3]]`` is byte-identical to three separate moves,
-but costs one solver pass and one re-evaluation.
+but costs one solver pass and one re-evaluation.  With ``"sync": false``
+the burst is only *acknowledged* (``{"queued": ..., "pending": ...}``, no
+re-run): queued samples accumulate on the session and the next
+state-bearing command applies them all as one incremental re-run — the
+same coalescing, extended across requests, for clients that stream
+mouse-move floods without waiting on each response.
 
 ``edit`` replaces the session's source text through the structural differ
 (:func:`repro.lang.diff.diff_source`): a value-only edit *re-keys* the
@@ -55,11 +71,11 @@ the session untouched.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..editor.session import EditorError, LiveSession
 from ..lang.errors import LittleError, LittleSyntaxError
-from .manager import SessionManager, UnknownSession
+from .manager import SessionExpired, SessionManager, UnknownSession
 
 __all__ = ["ProtocolError", "ServeApp"]
 
@@ -104,9 +120,9 @@ class ServeApp:
     """The protocol layer: one dict in, one dict out, no exceptions."""
 
     def __init__(self, manager: Optional[SessionManager] = None, *,
-                 max_sessions: int = 64):
+                 max_sessions: int = 64, shards: int = 1):
         self.manager = manager if manager is not None \
-            else SessionManager(max_sessions=max_sessions)
+            else SessionManager(max_sessions=max_sessions, shards=shards)
         self._handlers = {
             "open": self._cmd_open,
             "drag": self._cmd_drag,
@@ -139,6 +155,11 @@ class ServeApp:
             return response
         except ProtocolError as error:
             return error.to_response()
+        except SessionExpired as error:
+            return ProtocolError(
+                "session_expired",
+                f"session {error.args[0]!r} expired from the snapshot "
+                f"store; open it again", status=410).to_response()
         except UnknownSession as error:
             return ProtocolError("unknown_session",
                                  f"unknown session {error.args[0]!r}",
@@ -150,9 +171,24 @@ class ServeApp:
         except LittleError as error:
             return ProtocolError("program_error", str(error)).to_response()
 
-    def _session(self, request: dict) -> Tuple[str, LiveSession]:
-        sid = _field(request, "session", str)
-        return sid, self.manager.get(sid)
+    def _check_seq(self, request: dict, sid: str) -> None:
+        """Validate an optional client sequence number against the
+        session's accepted-operation count (caller holds the session
+        lock).  Duplicates and gaps are rejected, never applied."""
+        seq = _field(request, "seq", int, required=False)
+        if seq is None:
+            return
+        expected = self.manager.peek_seq(sid) + 1
+        if seq < expected:
+            raise ProtocolError(
+                "stale_seq",
+                f"stale sequence number {seq} for session {sid}; "
+                f"expected {expected}", status=409)
+        if seq > expected:
+            raise ProtocolError(
+                "seq_gap",
+                f"sequence gap for session {sid}: got {seq}, "
+                f"expected {expected}", status=409)
 
     @staticmethod
     def _state(session: LiveSession) -> dict:
@@ -201,11 +237,22 @@ class ServeApp:
         })
         return response
 
+    def _drag_conflict(self, sid: str, session: LiveSession,
+                       shape: int, zone: str) -> None:
+        if session.dragging is not None \
+                and session.dragging != (shape, zone):
+            held_shape, held_zone = session.dragging
+            raise ProtocolError(
+                "drag_in_progress",
+                f"session {sid} is dragging zone {held_zone!r} of shape "
+                f"{held_shape}; release it first", status=409)
+
     def _cmd_drag(self, request: dict) -> dict:
-        sid, session = self._session(request)
+        sid = _field(request, "session", str)
         shape = _field(request, "shape", int)
         zone = _field(request, "zone", str)
         steps = _field(request, "steps", list)
+        sync = _field(request, "sync", bool, required=False, default=True)
         if not steps:
             raise ProtocolError("bad_request", "steps must be non-empty")
         for step in steps:
@@ -215,119 +262,169 @@ class ServeApp:
                                for delta in step)):
                 raise ProtocolError(
                     "bad_request", "each step must be a [dx, dy] pair")
-        if session.dragging is None:
-            session.start_drag(shape, zone)
-        elif session.dragging != (shape, zone):
-            held_shape, held_zone = session.dragging
-            raise ProtocolError(
-                "drag_in_progress",
-                f"session {sid} is dragging zone {held_zone!r} of shape "
-                f"{held_shape}; release it first", status=409)
-        # Offsets are cumulative from the gesture start, so a burst
-        # coalesces into one incremental re-run at its final sample.
-        dx, dy = steps[-1]
-        result = session.drag(float(dx), float(dy))
-        response = self._state(session)
-        response.update({
-            "session": sid,
-            "coalesced": len(steps),
-            "bindings": {loc.display(): value
-                         for loc, value in result.bindings.items()},
-            "solved": [outcome.loc.display() for outcome in result.outcomes
-                       if outcome.solved],
-            "unsolved": [outcome.loc.display()
-                         for outcome in result.outcomes
-                         if not outcome.solved],
-        })
-        return response
+        with self.manager.locked(sid) as session:
+            self._check_seq(request, sid)
+            if not sync:
+                # Acknowledge and queue; the next state-bearing command
+                # applies all queued samples as one incremental re-run.
+                pending = self.manager.pending_drag(sid)
+                if pending is not None and pending[:2] != (shape, zone):
+                    self.manager.flush_pending(sid, session)
+                self._drag_conflict(sid, session, shape, zone)
+                if session.dragging is None:
+                    # Same rejection start_drag would raise eagerly — an
+                    # invalid gesture must fail *now*, not poison the
+                    # queue and surface on an unrelated later command.
+                    session.check_drag(shape, zone)
+                queued = self.manager.queue_drag(sid, shape, zone, steps)
+                return {"session": sid, "queued": len(steps),
+                        "pending": queued,
+                        "seq": self.manager.bump_seq(sid)}
+            pending = self.manager.pending_drag(sid)
+            superseded = pending is not None and pending[:2] == (shape,
+                                                                 zone)
+            if not superseded:
+                self.manager.flush_pending(sid, session)
+            self._drag_conflict(sid, session, shape, zone)
+            if session.dragging is None:
+                session.start_drag(shape, zone)
+            # Offsets are cumulative from the gesture start, so a burst
+            # coalesces into one incremental re-run at its final sample
+            # — which also supersedes any same-gesture queued backlog,
+            # dropped below only once this drag has actually applied.
+            dx, dy = steps[-1]
+            result = session.drag(float(dx), float(dy))
+            if superseded:
+                self.manager.drop_pending(sid)
+            response = self._state(session)
+            response.update({
+                "session": sid,
+                "coalesced": len(steps),
+                "bindings": {loc.display(): value
+                             for loc, value in result.bindings.items()},
+                "solved": [outcome.loc.display()
+                           for outcome in result.outcomes
+                           if outcome.solved],
+                "unsolved": [outcome.loc.display()
+                             for outcome in result.outcomes
+                             if not outcome.solved],
+                "seq": self.manager.bump_seq(sid),
+            })
+            return response
 
     def _cmd_edit(self, request: dict) -> dict:
-        sid, session = self._session(request)
+        sid = _field(request, "session", str)
         source = _field(request, "source", str)
-        # ``edit_source`` parses before touching any session state, so a
-        # parse error (surfaced by ``handle`` as ``parse_error``) leaves
-        # the session exactly as it was.
-        diff = session.edit_source(source)
-        self.manager.record_edit(sid, diff.kind)
-        response = self._state(session)
-        response.update({
-            "session": sid,
-            "edit": diff.kind,
-            "structural": diff.change.structural,
-            "changed": sorted(loc.display() for loc in diff.change.locs),
-            "active_zones": session.active_zone_count(),
-            "sliders": self._slider_state(session),
-        })
-        return response
+        with self.manager.locked(sid) as session:
+            self._check_seq(request, sid)
+            self.manager.flush_pending(sid, session)
+            # ``edit_source`` parses before touching any session state,
+            # so a parse error (surfaced by ``handle`` as
+            # ``parse_error``) leaves the session exactly as it was.
+            diff = session.edit_source(source)
+            self.manager.record_edit(sid, diff.kind)
+            response = self._state(session)
+            response.update({
+                "session": sid,
+                "edit": diff.kind,
+                "structural": diff.change.structural,
+                "changed": sorted(loc.display()
+                                  for loc in diff.change.locs),
+                "active_zones": session.active_zone_count(),
+                "sliders": self._slider_state(session),
+                "seq": self.manager.bump_seq(sid),
+            })
+            return response
 
     def _cmd_release(self, request: dict) -> dict:
-        sid, session = self._session(request)
-        if session.dragging is None:
-            raise ProtocolError("no_drag",
-                                f"session {sid} has no drag in flight",
-                                status=409)
-        session.release()
-        response = self._state(session)
-        response.update({"session": sid,
-                         "active_zones": session.active_zone_count()})
-        return response
+        sid = _field(request, "session", str)
+        with self.manager.locked(sid) as session:
+            self._check_seq(request, sid)
+            self.manager.flush_pending(sid, session)
+            if session.dragging is None:
+                raise ProtocolError("no_drag",
+                                    f"session {sid} has no drag in flight",
+                                    status=409)
+            session.release()
+            response = self._state(session)
+            response.update({"session": sid,
+                             "active_zones": session.active_zone_count(),
+                             "seq": self.manager.bump_seq(sid)})
+            return response
 
     def _cmd_set_slider(self, request: dict) -> dict:
-        sid, session = self._session(request)
+        sid = _field(request, "session", str)
         name = _field(request, "loc", str)
         value = _field(request, "value", float)
-        for loc, slider in session.sliders.items():
-            if loc.display() == name:
-                session.set_slider(loc, value)
-                break
-        else:
-            raise ProtocolError(
-                "no_slider", f"no slider named {name!r}; available: "
-                f"{sorted(loc.display() for loc in session.sliders)}",
-                status=404)
-        response = self._state(session)
-        response.update({"session": sid, "loc": name,
-                         "value": session.sliders[loc].value})
-        return response
+        with self.manager.locked(sid) as session:
+            self._check_seq(request, sid)
+            self.manager.flush_pending(sid, session)
+            for loc, slider in session.sliders.items():
+                if loc.display() == name:
+                    session.set_slider(loc, value)
+                    break
+            else:
+                raise ProtocolError(
+                    "no_slider", f"no slider named {name!r}; available: "
+                    f"{sorted(loc.display() for loc in session.sliders)}",
+                    status=404)
+            response = self._state(session)
+            response.update({"session": sid, "loc": name,
+                             "value": session.sliders[loc].value,
+                             "seq": self.manager.bump_seq(sid)})
+            return response
 
     def _cmd_undo(self, request: dict) -> dict:
-        sid, session = self._session(request)
-        if not session.history:
-            raise ProtocolError("nothing_to_undo",
-                                f"session {sid} has an empty history",
-                                status=409)
-        session.undo()
-        response = self._state(session)
-        response["session"] = sid
-        return response
+        sid = _field(request, "session", str)
+        with self.manager.locked(sid) as session:
+            self._check_seq(request, sid)
+            self.manager.flush_pending(sid, session)
+            if not session.history:
+                raise ProtocolError("nothing_to_undo",
+                                    f"session {sid} has an empty history",
+                                    status=409)
+            session.undo()
+            response = self._state(session)
+            response["session"] = sid
+            response["seq"] = self.manager.bump_seq(sid)
+            return response
 
     def _cmd_render(self, request: dict) -> dict:
-        sid, session = self._session(request)
+        sid = _field(request, "session", str)
         include_hidden = _field(request, "include_hidden", bool,
                                 required=False, default=False)
-        return {"session": sid,
-                "svg": session.export_svg(include_hidden=include_hidden)}
+        with self.manager.locked(sid) as session:
+            self.manager.flush_pending(sid, session)
+            return {"session": sid,
+                    "svg": session.export_svg(
+                        include_hidden=include_hidden)}
 
     def _cmd_hover(self, request: dict) -> dict:
-        sid, session = self._session(request)
+        sid = _field(request, "session", str)
         shape = _field(request, "shape", int)
         zone = _field(request, "zone", str)
-        if not 0 <= shape < len(session.canvas):
-            raise ProtocolError("bad_request",
-                                f"shape {shape} out of range", status=404)
-        if zone not in session.zone_names(shape):
-            raise ProtocolError(
-                "bad_request", f"shape {shape} has no zone {zone!r}",
-                status=404)
-        info = session.hover(shape, zone)
-        return {"session": sid, "active": info.active,
-                "caption": info.caption,
-                "selected": [loc.display() for loc in info.selected],
-                "unselected": [loc.display() for loc in info.unselected]}
+        with self.manager.locked(sid) as session:
+            self.manager.flush_pending(sid, session)
+            if not 0 <= shape < len(session.canvas):
+                raise ProtocolError("bad_request",
+                                    f"shape {shape} out of range",
+                                    status=404)
+            if zone not in session.zone_names(shape):
+                raise ProtocolError(
+                    "bad_request", f"shape {shape} has no zone {zone!r}",
+                    status=404)
+            info = session.hover(shape, zone)
+            return {"session": sid, "active": info.active,
+                    "caption": info.caption,
+                    "selected": [loc.display() for loc in info.selected],
+                    "unselected": [loc.display()
+                                   for loc in info.unselected]}
 
     def _cmd_source(self, request: dict) -> dict:
-        sid, session = self._session(request)
-        return {"session": sid, "source": session.source()}
+        sid = _field(request, "session", str)
+        with self.manager.locked(sid) as session:
+            self.manager.flush_pending(sid, session)
+            return {"session": sid, "source": session.source()}
 
     def _cmd_close(self, request: dict) -> dict:
         sid = _field(request, "session", str)

@@ -121,16 +121,19 @@ class TestServe:
     def test_serve_wires_options_through(self, monkeypatch):
         calls = {}
 
-        def fake_run_server(host, port, *, max_sessions, verbose):
+        def fake_run_server(host, port, *, max_sessions, shards, workers,
+                            verbose):
             calls.update(host=host, port=port, max_sessions=max_sessions,
-                         verbose=verbose)
+                         shards=shards, workers=workers, verbose=verbose)
             return 0
 
         import repro.serve.http as serve_http
         monkeypatch.setattr(serve_http, "run_server", fake_run_server)
-        assert main(["serve", "--port", "0", "--max-sessions", "5"]) == 0
+        assert main(["serve", "--port", "0", "--max-sessions", "5",
+                     "--shards", "2", "--workers", "8"]) == 0
         assert calls == {"host": "127.0.0.1", "port": 0,
-                         "max_sessions": 5, "verbose": False}
+                         "max_sessions": 5, "shards": 2, "workers": 8,
+                         "verbose": False}
 
 
 class TestExamples:

@@ -33,6 +33,7 @@ DOCTEST_MODULES = [
     "repro.serve.cache",
     "repro.serve.manager",
     "repro.serve.protocol",
+    "repro.serve.shard",
 ]
 
 
