@@ -5,11 +5,12 @@ Every benchmark module regenerates one of the paper's tables or figures
 written under ``benchmarks/out/`` for EXPERIMENTS.md.
 """
 
+import json
 import pathlib
 
 import pytest
 
-from repro.bench import prepare_corpus
+from repro.bench import prepare_corpus, table_records
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 
@@ -22,10 +23,22 @@ def corpus():
 
 @pytest.fixture(scope="session")
 def write_table():
+    """Write one benchmark table: the formatted ``.txt`` for humans,
+    plus a machine-readable ``BENCH_<name>.json`` (the row objects via
+    :func:`repro.bench.table_records`, and the rendered lines either
+    way) so CI can track the perf trajectory without parsing text."""
     OUT_DIR.mkdir(exist_ok=True)
 
-    def _write(name: str, text: str) -> None:
+    def _write(name: str, text: str, rows=None, **meta) -> None:
         (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        payload = {"name": name, "lines": text.splitlines()}
+        if rows is not None:
+            payload["rows"] = table_records(rows)
+        if meta:
+            payload["meta"] = table_records(meta)
+        (OUT_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, default=str) + "\n",
+            encoding="utf-8")
         print("\n" + text)
 
     return _write

@@ -8,11 +8,14 @@ the fast path is at least 5x faster at the median while producing
 bit-identical outputs.
 """
 
+import time
+
 from repro.bench import (DRAG_LATENCY_EXAMPLES, format_drag_latency_table,
                          measure_drag_latency, median_speedup)
 from repro.bench.drag_latency import _gesture, _start
 from repro.editor import LiveSession
 from repro.examples import example_source
+from repro.lang.eval import EvalBudget
 
 
 def test_bench_drag_step(benchmark):
@@ -58,4 +61,49 @@ def test_drag_latency_speedup(request, write_table):
     # runners) the equivalence checks above are the point.
     if not request.config.getoption("benchmark_disable"):
         assert median_speedup(rows) >= 5.0
-    write_table("drag_latency", format_drag_latency_table(rows))
+    write_table("drag_latency", format_drag_latency_table(rows), rows=rows)
+
+
+def test_drag_budget_overhead(request, write_table):
+    """The evaluation-budget accounting (fuel per interpreter step,
+    depth per frame, size per allocation) must cost less than 5% of
+    fast-path drag throughput with the default caps armed — the fault
+    containment a server enables by default cannot tax the hot path."""
+    name = "sine_wave_of_boxes"
+    offsets = _gesture(60)
+
+    def run(budget):
+        session = LiveSession(example_source(name), budget=budget)
+        key = next(iter(session.triggers))
+        session.start_drag(*key)
+        start = time.perf_counter()
+        for dx, dy in offsets:
+            session.drag(dx, dy)
+        elapsed = time.perf_counter() - start
+        session.release()
+        return len(offsets) / elapsed, session.export_svg()
+
+    # Interleave repeats and keep each path's best pass, shedding
+    # scheduler noise that a single timed run would bake in.
+    plain_best = budget_best = 0.0
+    for _ in range(5):
+        plain_sps, plain_svg = run(None)
+        budget_sps, budget_svg = run(EvalBudget())
+        assert plain_svg == budget_svg       # accounting never alters output
+        plain_best = max(plain_best, plain_sps)
+        budget_best = max(budget_best, budget_sps)
+    overhead_pct = 100.0 * (plain_best - budget_best) / plain_best
+    text = "\n".join([
+        "Budget overhead: fast-path drag steps/sec, default caps armed",
+        f"{'config':16s}{'steps/s':>10s}",
+        f"{'no budget':16s}{plain_best:>10.1f}",
+        f"{'default budget':16s}{budget_best:>10.1f}",
+        f"{'overhead':16s}{overhead_pct:>9.1f}%",
+    ])
+    write_table("drag_budget_overhead", text,
+                rows={"no_budget_sps": plain_best,
+                      "budget_sps": budget_best,
+                      "overhead_pct": overhead_pct})
+    if not request.config.getoption("benchmark_disable"):
+        assert budget_best >= 0.95 * plain_best, \
+            f"budget accounting costs {overhead_pct:.1f}% (>5%)"

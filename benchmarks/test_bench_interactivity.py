@@ -22,4 +22,5 @@ def test_interactivity_table(corpus, write_table):
     for delta in (1.0, 100.0):
         assert (totals.full[delta] + totals.partial[delta]
                 + totals.none[delta]) == totals.active
-    write_table("interactivity_table", format_interactivity(totals))
+    write_table("interactivity_table", format_interactivity(totals),
+                rows=totals)

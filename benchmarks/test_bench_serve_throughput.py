@@ -67,4 +67,5 @@ def test_serve_throughput_table(request, write_table):
         assert scaling[-1].speedup > 1.5, scaling[-1]
     write_table("serve_throughput",
                 format_serve_throughput_table(rows) + "\n\n"
-                + format_serve_scaling_table(scaling))
+                + format_serve_scaling_table(scaling),
+                rows={"throughput": rows, "scaling": scaling})

@@ -1,6 +1,16 @@
-"""Text renderers for the paper's tables, side by side with paper values."""
+"""Text renderers for the paper's tables, side by side with paper values.
+
+Every table also has a machine-readable form: :func:`table_records`
+turns the row objects (dataclasses, namedtuples, dicts of either) into
+plain JSON-able structures, and the benchmark suite's ``write_table``
+fixture writes them as ``BENCH_<name>.json`` alongside the ``.txt`` so
+CI and future re-anchors can track the perf trajectory without parsing
+formatted text.
+"""
 
 from __future__ import annotations
+
+import dataclasses
 
 from typing import Dict, List, Optional
 
@@ -31,6 +41,39 @@ PAPER_PERF_MS = {
     "prepare": {"min": 1, "med": 13, "avg": 200, "max": 6789},
     "solve": {"min": 0.1, "med": 0.5, "avg": 0.5, "max": 14},
 }
+
+
+def table_records(rows):
+    """A JSON-able mirror of a table's row objects.
+
+    Handles the row shapes the benchmark suite produces — dataclasses,
+    namedtuples, dicts and sequences of any of them, arbitrarily nested
+    — and falls back to ``str`` for anything else, so every table can be
+    serialized without a per-table schema.
+
+    >>> from dataclasses import dataclass
+    >>> @dataclass
+    ... class Row: name: str; speedup: float
+    >>> table_records([Row("three_boxes", 7.5)])
+    [{'name': 'three_boxes', 'speedup': 7.5}]
+    """
+    if dataclasses.is_dataclass(rows) and not isinstance(rows, type):
+        return {field.name: table_records(getattr(rows, field.name))
+                for field in dataclasses.fields(rows)}
+    if isinstance(rows, dict):
+        return {str(key): table_records(value)
+                for key, value in rows.items()}
+    if hasattr(rows, "_asdict"):        # namedtuple
+        return table_records(rows._asdict())
+    if isinstance(rows, (list, tuple)):
+        return [table_records(item) for item in rows]
+    if isinstance(rows, (str, int, float, bool)) or rows is None:
+        return rows
+    if hasattr(rows, "__dict__"):
+        return {key: table_records(value)
+                for key, value in vars(rows).items()
+                if not key.startswith("_")}
+    return str(rows)
 
 
 def format_zone_table(totals: ZoneTotals) -> str:

@@ -32,9 +32,20 @@ def _read_source(path: str, command: str) -> Optional[str]:
         return None
 
 
+def _eval_budget(steps: Optional[int]):
+    """An :class:`~repro.lang.eval.EvalBudget` capping fuel at ``steps``
+    (with the default depth/size caps riding along), or ``None`` when
+    the flag is absent or 0 (unlimited)."""
+    if not steps:
+        return None
+    from .lang.eval import EvalBudget
+
+    return EvalBudget(max_fuel=steps)
+
+
 def _cmd_run(args) -> int:
     from .core.run import run_source
-    from .lang.errors import LittleError
+    from .lang.errors import LittleError, ResourceExhausted
 
     source = _read_source(args.file, "run")
     if source is None:
@@ -46,7 +57,12 @@ def _cmd_run(args) -> int:
                               heuristic=args.heuristic or "fair",
                               prepare=args.heuristic is not None,
                               auto_freeze=args.auto_freeze,
-                              prelude_frozen=not args.prelude_unfrozen)
+                              prelude_frozen=not args.prelude_unfrozen,
+                              budget=_eval_budget(args.eval_budget))
+    except ResourceExhausted as error:
+        print(f"repro run: {args.file}: program_limit: {error}",
+              file=sys.stderr)
+        return 1
     except LittleError as error:
         print(f"repro run: {args.file}: {error}", file=sys.stderr)
         return 1
@@ -66,7 +82,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_check(args) -> int:
     from .core.run import run_source
-    from .lang.errors import LittleError
+    from .lang.errors import LittleError, ResourceExhausted
 
     source = _read_source(args.file, "check")
     if source is None:
@@ -76,7 +92,12 @@ def _cmd_check(args) -> int:
     # either way, so editors can surface it verbatim.
     try:
         pipeline = run_source(source, auto_freeze=args.auto_freeze,
-                              prelude_frozen=not args.prelude_unfrozen)
+                              prelude_frozen=not args.prelude_unfrozen,
+                              budget=_eval_budget(args.eval_budget))
+    except ResourceExhausted as error:
+        print(f"repro check: {args.file}: program_limit: {error}",
+              file=sys.stderr)
+        return 1
     except LittleError as error:
         print(f"repro check: {args.file}: {error}", file=sys.stderr)
         return 1
@@ -86,11 +107,15 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from .serve.faults import plan_from_env
     from .serve.http import run_server
 
     return run_server(host=args.host, port=args.port,
                       max_sessions=args.max_sessions, shards=args.shards,
-                      workers=args.workers, verbose=args.verbose)
+                      workers=args.workers, verbose=args.verbose,
+                      state_dir=args.state_dir,
+                      eval_budget=_eval_budget(args.eval_budget),
+                      faults=plan_from_env())
 
 
 def _cmd_examples(args) -> int:
@@ -172,6 +197,13 @@ def _add_parse_mode_options(parser) -> None:
     parser.add_argument("--prelude-unfrozen", action="store_true",
                         help="treat Prelude literals as thawed, as the "
                              "editor and tests can")
+    parser.add_argument("--eval-budget", type=int, default=0,
+                        metavar="STEPS",
+                        help="cap evaluation at STEPS interpreter steps "
+                             "(plus default recursion-depth and value-"
+                             "size caps); a runaway program fails with a "
+                             "one-line program_limit diagnostic instead "
+                             "of hanging (0 = unlimited)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -218,6 +250,18 @@ def build_parser() -> argparse.ArgumentParser:
                                    "always serialize)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log every request to stderr")
+    serve_parser.add_argument("--eval-budget", type=int, default=0,
+                              metavar="STEPS",
+                              help="per-command evaluation budget: a "
+                                   "runaway program gets a structured "
+                                   "program_limit error (HTTP 422) and "
+                                   "the session rolls back "
+                                   "(0 = unlimited)")
+    serve_parser.add_argument("--state-dir", metavar="DIR", default=None,
+                              help="spill session state to DIR (write-"
+                                   "behind) and replay it on boot: "
+                                   "restarts are warm, SIGTERM drains "
+                                   "and persists before exiting")
     serve_parser.set_defaults(handler=_cmd_serve)
 
     examples_parser = commands.add_parser(

@@ -45,6 +45,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..lang.ast import Loc
+from ..lang.eval import EvalBudget, budget_scope
 from ..lang.incremental import EvalCache, record_evaluation, reevaluate
 from ..lang.program import Program, parse_program
 from ..svg.canvas import Canvas
@@ -76,13 +77,23 @@ class SyncPipeline:
     """
 
     def __init__(self, program: Program, *, heuristic: str = "fair",
-                 record: bool = True):
+                 record: bool = True,
+                 budget: Optional[EvalBudget] = None):
         self.program = program
         self.heuristic = heuristic
         #: Whether the Run stage records control-flow guards so later runs
         #: can be incremental.  One-shot consumers (CLI render, example
         #: export, stage benchmarks) switch it off.
         self.record = record
+        #: Optional :class:`~repro.lang.eval.EvalBudget` installed around
+        #: every evaluation this pipeline performs (fresh counters per
+        #: run).  A runaway program then fails the Run stage with
+        #: :class:`~repro.lang.errors.ResourceExhausted` instead of
+        #: wedging the thread; the stage leaves its caches untouched on
+        #: failure, so the caller can roll back by re-installing the
+        #: previous program.  The budget must not be shared with another
+        #: thread's pipeline (counters are mutable): clone per pipeline.
+        self.budget = budget
         self.output = None
         self.canvas: Optional[Canvas] = None
         self.assignments: Optional[CanvasAssignments] = None
@@ -97,9 +108,11 @@ class SyncPipeline:
 
     @classmethod
     def from_source(cls, source: str, *, heuristic: str = "fair",
-                    record: bool = True, **parse_options) -> "SyncPipeline":
+                    record: bool = True,
+                    budget: Optional[EvalBudget] = None,
+                    **parse_options) -> "SyncPipeline":
         return cls(parse_program(source, **parse_options),
-                   heuristic=heuristic, record=record)
+                   heuristic=heuristic, record=record, budget=budget)
 
     # -- program replacement ---------------------------------------------------
 
@@ -134,22 +147,28 @@ class SyncPipeline:
         needed.  The output is staged for :meth:`canvas_stage`.
         """
         change = FULL_CHANGE if change is None else change
-        if (not change.structural and self._eval_cache is not None
-                and self.output is not None):
-            if not change.locs:
-                self._pending_output = self.output
-                return change
-            output = reevaluate(self._eval_cache, self.program.rho0)
-            if output is not None:
-                self._pending_output = output
-                return change
-        if self.record:
-            output, self._eval_cache = record_evaluation(self.program)
-        else:
-            output = self.program.evaluate()
-            self._eval_cache = None
-        self._pending_output = output
-        return FULL_CHANGE
+        # One budget scope per Run: a guarded replay that flips into a
+        # full re-evaluation spends from the same allowance — it is one
+        # user action either way.  Failure (ResourceExhausted, any
+        # LittleError) propagates *before* any cache assignment below, so
+        # the pipeline still describes the previously installed program.
+        with budget_scope(self.budget):
+            if (not change.structural and self._eval_cache is not None
+                    and self.output is not None):
+                if not change.locs:
+                    self._pending_output = self.output
+                    return change
+                output = reevaluate(self._eval_cache, self.program.rho0)
+                if output is not None:
+                    self._pending_output = output
+                    return change
+            if self.record:
+                output, self._eval_cache = record_evaluation(self.program)
+            else:
+                output = self.program.evaluate()
+                self._eval_cache = None
+            self._pending_output = output
+            return FULL_CHANGE
 
     def canvas_stage(self, change: Optional[ChangeSet] = None) -> Canvas:
         """Build the canvas for the staged output — incrementally (shared

@@ -71,14 +71,15 @@ class LiveSession:
                  heuristic: str = "fair",
                  auto_freeze: bool = False,
                  prelude_frozen: bool = True,
-                 seed=None):
+                 seed=None,
+                 budget=None):
         if (source is None) == (program is None):
             raise EditorError("provide exactly one of source or program")
         if program is None:
             program = parse_program(source, auto_freeze=auto_freeze,
                                     prelude_frozen=prelude_frozen)
         self.pipeline = SyncPipeline(program, heuristic=heuristic,
-                                     record=True)
+                                     record=True, budget=budget)
         self.history: List[Program] = []
         self._drag_base: Optional[Program] = None
         self._drag_trigger: Optional[MouseTrigger] = None
@@ -176,6 +177,8 @@ class LiveSession:
         drag start, exactly as in §4.1's τ(dx, dy)."""
         if self._drag_trigger is None or self._drag_base is None:
             raise EditorError("drag without start_drag")
+        previous_offsets = self._drag_offsets
+        previous_result = self._last_result
         self._drag_offsets = (dx, dy)
         result = self._drag_trigger(dx, dy)
         self._last_result = result
@@ -191,7 +194,19 @@ class LiveSession:
             if previous is not self._drag_base:
                 step_change = step_change.union(previous.last_change)
             self.pipeline.replace_program(program, step_change)
-            effective = self.pipeline.run_stage(step_change)
+            try:
+                effective = self.pipeline.run_stage(step_change)
+            except LittleError:
+                # A step that fails to run (a budget trip, a domain error
+                # the solver pushed into a literal) leaves the pipeline's
+                # caches at the previous step — the Run stage mutates them
+                # only on success — so re-installing the previous program
+                # is a complete rollback; the gesture stays in flight at
+                # its last good offsets.
+                self.pipeline.replace_program(previous, EMPTY_CHANGE)
+                self._drag_offsets = previous_offsets
+                self._last_result = previous_result
+                raise
             self._gesture_change = self._gesture_change.union(effective)
         return result
 
@@ -229,10 +244,19 @@ class LiveSession:
         if clamped == slider.value:
             # No-op drag to the current value: no history entry, no re-run.
             return
-        self.history.append(self.program)
-        program = self.program.substitute({loc: clamped})
+        previous = self.program
+        self.history.append(previous)
+        program = previous.substitute({loc: clamped})
         change = self.pipeline.replace_program(program)
-        self.pipeline.run(change)
+        try:
+            self.pipeline.run(change)
+        except LittleError:
+            # Same discipline as ``edit_source``: a slider move whose
+            # program fails to run is rolled back atomically.
+            self.history.pop()
+            self.pipeline.replace_program(previous, FULL_CHANGE)
+            self.pipeline.run(FULL_CHANGE)
+            raise
 
     # -- source edits (§4.1, the other half of the loop) ---------------------------
 
@@ -279,27 +303,37 @@ class LiveSession:
         if not self.history:
             raise EditorError("nothing to undo")
         restored = self.history.pop()
+        current = self.pipeline.program
         if self._drag_base is not None:
             # Undo during an in-flight drag aborts the gesture: the
             # pipeline state is then more than one substitution away from
             # the restored program, so no cheap change set bounds the
             # difference — re-run from scratch.
+            change = FULL_CHANGE
+        else:
+            # Between user actions the current program was derived from
+            # the popped one by a single step whose ``last_change`` bounds
+            # the difference: a substitution (drag commit, slider move,
+            # value-only source edit) names exactly the touched locations,
+            # and a structural source edit carries ``FULL_CHANGE``.
+            change = current.last_change
+        self.pipeline.replace_program(restored, change)
+        try:
+            self.pipeline.run(change)
+        except LittleError:
+            # Failed undo (e.g. the restored program trips a since-
+            # tightened budget): put the entry back and stay where we
+            # were — an in-flight gesture is likewise kept in flight.
+            self.history.append(restored)
+            self.pipeline.replace_program(current, FULL_CHANGE)
+            self.pipeline.run(FULL_CHANGE)
+            raise
+        if self._drag_base is not None:
             self._drag_base = None
             self._drag_trigger = None
             self._drag_key = None
             self._drag_offsets = None
             self._gesture_change = EMPTY_CHANGE
-            self.pipeline.replace_program(restored, FULL_CHANGE)
-            self.pipeline.run(FULL_CHANGE)
-            return
-        # Between user actions the current program was derived from the
-        # popped one by a single step whose ``last_change`` bounds the
-        # difference: a substitution (drag commit, slider move, value-only
-        # source edit) names exactly the touched locations, and a
-        # structural source edit carries ``FULL_CHANGE``.
-        change = self.pipeline.program.last_change
-        self.pipeline.replace_program(restored, change)
-        self.pipeline.run(change)
 
     # -- snapshot / restore ------------------------------------------------------
 
@@ -359,7 +393,8 @@ class LiveSession:
         }
 
     @classmethod
-    def restore(cls, snapshot: dict, *, compile_fn=None) -> "LiveSession":
+    def restore(cls, snapshot: dict, *, compile_fn=None,
+                budget=None) -> "LiveSession":
         """Rebuild a session from a :meth:`snapshot`.
 
         ``compile_fn(source, **parse_options)`` must return a tuple of the
@@ -436,7 +471,8 @@ class LiveSession:
         current = chain.pop()
         seed = base_for(main_source)[1]
         session = cls(program=current, heuristic=options["heuristic"],
-                      seed=seed if not own_changes[-1] else None)
+                      seed=seed if not own_changes[-1] else None,
+                      budget=budget)
         session.history = chain
         drag = snapshot.get("drag")
         if drag is not None:

@@ -25,6 +25,24 @@ class MatchFailure(LittleRuntimeError):
     """No case branch matched the scrutinee value."""
 
 
+class ResourceExhausted(LittleRuntimeError):
+    """Evaluation exceeded a configured resource budget.
+
+    Raised by the cooperative budget counters in :mod:`repro.lang.eval`
+    (see :class:`~repro.lang.eval.EvalBudget`): ``kind`` names the
+    dimension that ran out — ``"fuel"`` (evaluation steps), ``"depth"``
+    (non-tail little-level recursion) or ``"size"`` (allocated value
+    cells).  A runaway program — unbounded recursion, an exponential
+    list build — surfaces as this typed, one-line error instead of a
+    Python ``RecursionError`` or an interpreter that never returns.
+    """
+
+    def __init__(self, kind: str, limit: float, message: str):
+        self.kind = kind
+        self.limit = limit
+        super().__init__(message)
+
+
 class SvgError(LittleError):
     """The program's output value is not a well-formed SVG node."""
 

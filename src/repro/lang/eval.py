@@ -15,7 +15,7 @@ from typing import Dict, Optional
 from .ast import (ECase, ECons, ELambda, ELet, ENil, ENum, EOp, EStr, EVar,
                   EApp, EBool, Expr, NUMERIC_OPS, PBool, PCons, PNil, PNum,
                   PStr, PVar, Pattern)
-from .errors import LittleRuntimeError, MatchFailure
+from .errors import LittleRuntimeError, MatchFailure, ResourceExhausted
 from .ops import apply_numeric_op
 from .values import (VBool, VClosure, VCons, VNil, VNum, VStr, Value,
                      format_number)
@@ -44,6 +44,148 @@ def get_recorder():
 def set_recorder(recorder) -> None:
     """Install (or clear, with ``None``) this thread's guard recorder."""
     _RECORDERS.value = recorder
+
+
+#: Active evaluation budget, per thread (same discipline as the guard
+#: recorder above): installed around one evaluation via
+#: :func:`budget_scope`, read inline in the interpreter loop.
+_BUDGETS = threading.local()
+
+
+class EvalBudget:
+    """Cooperative resource budget for one evaluation run.
+
+    Three independent caps, each ``None`` for unlimited:
+
+    * ``max_fuel`` — evaluation *steps* (interpreter loop iterations, plus
+      a coarse per-guard charge on the incremental replay path), the
+      wall-clock proxy that stops an infinite tail-recursive loop;
+    * ``max_depth`` — non-tail little-level recursion depth, which fires
+      long before Python's own recursion limit would produce an opaque
+      ``RecursionError`` traceback;
+    * ``max_size`` — allocated value cells (cons cells, produced string
+      characters), which stops an exponential list build before it stops
+      the machine.
+
+    The counters are mutable and reset per run (:func:`budget_scope`), so
+    one instance serves a session's lifetime but must not be shared
+    across threads — clone per concurrent consumer (:meth:`clone`).
+
+    >>> from repro.lang.program import parse_program
+    >>> looping = parse_program(
+    ...     "(defrec spin (\\\\n (spin (+ n 1)))) "
+    ...     "(svg [(rect 'red' (spin 0) 0 5 5)])")
+    >>> with budget_scope(EvalBudget(max_fuel=10000)):
+    ...     looping.evaluate()
+    Traceback (most recent call last):
+        ...
+    repro.lang.errors.ResourceExhausted: program exceeded its evaluation \
+budget: 10000 steps (fuel)
+    """
+
+    __slots__ = ("max_fuel", "max_depth", "max_size", "fuel", "depth",
+                 "size")
+
+    #: Defaults sized for interactive serving: two orders of magnitude
+    #: above the hungriest corpus program (us50_flag evaluates in ~5e4
+    #: steps), small enough that a runaway program fails within a second.
+    DEFAULT_FUEL = 5_000_000
+    #: Non-tail recursion depth; must stay comfortably below the Python
+    #: recursion limit the evaluator configures (each little-level frame
+    #: costs a couple of Python frames), so the budget fires first.
+    DEFAULT_DEPTH = 4_000
+    DEFAULT_SIZE = 5_000_000
+
+    def __init__(self, max_fuel: Optional[int] = DEFAULT_FUEL,
+                 max_depth: Optional[int] = DEFAULT_DEPTH,
+                 max_size: Optional[int] = DEFAULT_SIZE):
+        self.max_fuel = float("inf") if max_fuel is None else max_fuel
+        self.max_depth = float("inf") if max_depth is None else max_depth
+        self.max_size = float("inf") if max_size is None else max_size
+        self.fuel = 0
+        self.depth = 0
+        self.size = 0
+
+    def clone(self) -> "EvalBudget":
+        """A fresh budget with the same limits and zeroed counters."""
+        clone = EvalBudget.__new__(EvalBudget)
+        clone.max_fuel = self.max_fuel
+        clone.max_depth = self.max_depth
+        clone.max_size = self.max_size
+        clone.fuel = clone.depth = clone.size = 0
+        return clone
+
+    def reset(self) -> None:
+        self.fuel = 0
+        self.depth = 0
+        self.size = 0
+
+    def _exhausted(self, kind: str, limit: float, unit: str):
+        limit_text = int(limit) if limit != float("inf") else limit
+        raise ResourceExhausted(
+            kind, limit, f"program exceeded its evaluation budget: "
+                         f"{limit_text} {unit} ({kind})")
+
+    def step(self) -> None:
+        """One interpreter loop iteration."""
+        self.fuel += 1
+        if self.fuel > self.max_fuel:
+            self._exhausted("fuel", self.max_fuel, "steps")
+
+    def consume(self, amount: int) -> None:
+        """Charge ``amount`` steps at once (the replay path's coarse
+        per-guard accounting)."""
+        self.fuel += amount
+        if self.fuel > self.max_fuel:
+            self._exhausted("fuel", self.max_fuel, "steps")
+
+    def enter(self) -> None:
+        """One non-tail little-level call frame (paired with a direct
+        ``depth -= 1`` in the evaluator's ``finally``)."""
+        self.depth += 1
+        if self.depth > self.max_depth:
+            self._exhausted("depth", self.max_depth, "frames")
+
+    def allocate(self, cells: int) -> None:
+        """Charge ``cells`` allocated value cells."""
+        self.size += cells
+        if self.size > self.max_size:
+            self._exhausted("size", self.max_size, "cells")
+
+
+def get_budget() -> Optional[EvalBudget]:
+    """This thread's active evaluation budget, or ``None``."""
+    return getattr(_BUDGETS, "value", None)
+
+
+class _BudgetScope:
+    """Install ``budget`` (reset) for the dynamic extent of one
+    evaluation, restoring the previous budget on exit.  ``budget=None``
+    is a cheap no-op, so the unbudgeted paths stay unchanged."""
+
+    __slots__ = ("budget", "previous")
+
+    def __init__(self, budget: Optional[EvalBudget]):
+        self.budget = budget
+        self.previous = None
+
+    def __enter__(self) -> Optional[EvalBudget]:
+        budget = self.budget
+        if budget is not None:
+            budget.reset()
+            self.previous = getattr(_BUDGETS, "value", None)
+            _BUDGETS.value = budget
+        return budget
+
+    def __exit__(self, *exc_info) -> bool:
+        if self.budget is not None:
+            _BUDGETS.value = self.previous
+        return False
+
+
+def budget_scope(budget: Optional[EvalBudget]) -> _BudgetScope:
+    """Context manager installing ``budget`` for one evaluation run."""
+    return _BudgetScope(budget)
 
 
 _MISSING = object()
@@ -146,6 +288,13 @@ def _eval_cons(expr: ECons, env: Env) -> Value:
         heads.append(_eval(node.head, env))
         node = node.tail
     value = _eval(node, env)
+    budget = getattr(_BUDGETS, "value", None)
+    if budget is not None:
+        # The only VCons allocation site: every little list cell — literal
+        # or built one cons at a time by recursive prelude functions —
+        # passes through here, so charging the spine length meters total
+        # list allocation.
+        budget.allocate(len(heads))
     for head in reversed(heads):
         value = VCons(head, value)
     return value
@@ -172,77 +321,95 @@ def _eval(expr: Expr, env: Env) -> Value:
     # case branches, which keeps Python stack depth proportional to true
     # (non-tail) recursion depth only.  The hottest kinds (variable lookup,
     # application, literals) are inlined ahead of the dispatch table.
-    while True:
-        kind = type(expr)
-        if kind is EVar:
-            name = expr.name
-            scope: Optional[Env] = env
-            while scope is not None:
-                value = scope.bindings.get(name, _MISSING)
-                if value is not _MISSING:
-                    return value
-                scope = scope.parent
-            raise LittleRuntimeError(f"unbound variable {name!r}")
-        if kind is EApp:
-            fn = _eval(expr.fn, env)
-            arg = _eval(expr.arg, env)
-            if type(fn) is not VClosure:
-                raise LittleRuntimeError(
-                    f"attempt to apply a non-function: {fn!r}")
-            pattern = fn.pattern
-            if type(pattern) is PVar:
-                env = Env({pattern.name: arg}, fn.env)
-            else:
-                bindings = match(pattern, arg)
-                if bindings is None:
-                    raise MatchFailure("function argument did not match "
-                                       "parameter pattern")
-                env = Env(bindings, fn.env)
-            expr = fn.body
-            continue
-        if kind is ENum:
-            # A literal's value/loc never change, so its VNum is interned
-            # on the node (substitution replaces the node, invalidating
-            # the cache naturally).
-            cached = getattr(expr, "_vcache", None)
-            if cached is None:
-                cached = VNum(expr.value, expr.loc)
-                expr._vcache = cached
-            return cached
-        if kind is EOp:
-            return _eval_op(expr, env)
-        if kind is ELet:
-            if expr.rec:
-                rec_env = env.child({})
-                bound = _eval(expr.bound, rec_env)
-                bindings = match(expr.pattern, bound)
-                if bindings is None:
-                    raise MatchFailure("letrec pattern did not match")
-                rec_env.bindings.update(bindings)
-                env = rec_env
-            else:
-                bound = _eval(expr.bound, env)
-                bindings = match(expr.pattern, bound)
-                if bindings is None:
-                    raise MatchFailure("let pattern did not match")
-                env = env.child(bindings)
-            expr = expr.body
-            continue
-        if kind is ECase:
-            scrutinee = _eval(expr.scrutinee, env)
-            for pattern, branch in expr.branches:
-                bindings = match(pattern, scrutinee)
-                if bindings is not None:
-                    env = env.child(bindings) if bindings else env
-                    expr = branch
-                    break
-            else:
-                raise MatchFailure("no case branch matched")
-            continue
-        handler = _LEAF_HANDLERS.get(kind)
-        if handler is not None:
-            return handler(expr, env)
-        raise LittleRuntimeError(f"cannot evaluate {expr!r}")
+    #
+    # Budget accounting mirrors that structure: one depth frame per _eval
+    # entry (non-tail recursion only, by construction), one fuel step per
+    # loop iteration (so tail-recursive spins still burn fuel).  The fuel
+    # increment is inlined — like the recorder reads — because it runs
+    # once per evaluated node; try/finally is zero-cost on the
+    # no-exception path in CPython 3.11+.
+    budget = getattr(_BUDGETS, "value", None)
+    if budget is not None:
+        budget.enter()
+    try:
+        while True:
+            if budget is not None:
+                budget.fuel += 1
+                if budget.fuel > budget.max_fuel:
+                    budget._exhausted("fuel", budget.max_fuel, "steps")
+            kind = type(expr)
+            if kind is EVar:
+                name = expr.name
+                scope: Optional[Env] = env
+                while scope is not None:
+                    value = scope.bindings.get(name, _MISSING)
+                    if value is not _MISSING:
+                        return value
+                    scope = scope.parent
+                raise LittleRuntimeError(f"unbound variable {name!r}")
+            if kind is EApp:
+                fn = _eval(expr.fn, env)
+                arg = _eval(expr.arg, env)
+                if type(fn) is not VClosure:
+                    raise LittleRuntimeError(
+                        f"attempt to apply a non-function: {fn!r}")
+                pattern = fn.pattern
+                if type(pattern) is PVar:
+                    env = Env({pattern.name: arg}, fn.env)
+                else:
+                    bindings = match(pattern, arg)
+                    if bindings is None:
+                        raise MatchFailure("function argument did not match "
+                                           "parameter pattern")
+                    env = Env(bindings, fn.env)
+                expr = fn.body
+                continue
+            if kind is ENum:
+                # A literal's value/loc never change, so its VNum is interned
+                # on the node (substitution replaces the node, invalidating
+                # the cache naturally).
+                cached = getattr(expr, "_vcache", None)
+                if cached is None:
+                    cached = VNum(expr.value, expr.loc)
+                    expr._vcache = cached
+                return cached
+            if kind is EOp:
+                return _eval_op(expr, env)
+            if kind is ELet:
+                if expr.rec:
+                    rec_env = env.child({})
+                    bound = _eval(expr.bound, rec_env)
+                    bindings = match(expr.pattern, bound)
+                    if bindings is None:
+                        raise MatchFailure("letrec pattern did not match")
+                    rec_env.bindings.update(bindings)
+                    env = rec_env
+                else:
+                    bound = _eval(expr.bound, env)
+                    bindings = match(expr.pattern, bound)
+                    if bindings is None:
+                        raise MatchFailure("let pattern did not match")
+                    env = env.child(bindings)
+                expr = expr.body
+                continue
+            if kind is ECase:
+                scrutinee = _eval(expr.scrutinee, env)
+                for pattern, branch in expr.branches:
+                    bindings = match(pattern, scrutinee)
+                    if bindings is not None:
+                        env = env.child(bindings) if bindings else env
+                        expr = branch
+                        break
+                else:
+                    raise MatchFailure("no case branch matched")
+                continue
+            handler = _LEAF_HANDLERS.get(kind)
+            if handler is not None:
+                return handler(expr, env)
+            raise LittleRuntimeError(f"cannot evaluate {expr!r}")
+    finally:
+        if budget is not None:
+            budget.depth -= 1
 
 
 def _bool(flag: bool) -> VBool:
@@ -326,7 +493,13 @@ def _eval_op(expr: EOp, env: Env) -> Value:
     if op == "not" and isinstance(args[0], VBool):
         return _bool(not args[0].value)
     if op == "+" and isinstance(args[0], VStr) and isinstance(args[1], VStr):
-        return VStr(args[0].value + args[1].value)
+        result = args[0].value + args[1].value
+        budget = getattr(_BUDGETS, "value", None)
+        if budget is not None:
+            # Quadratic string building (repeated concat) is the string
+            # analogue of an exponential list: charge produced characters.
+            budget.allocate(len(result))
+        return VStr(result)
     if op == "=" and isinstance(args[0], VStr) and isinstance(args[1], VStr):
         return _bool(args[0].value == args[1].value)
     if op == "=" and isinstance(args[0], VBool) and isinstance(args[1], VBool):

@@ -156,6 +156,16 @@ def reevaluate(cache: EvalCache, rho: Dict[Loc, float]) -> Optional[Value]:
     """
     rho = {loc.ident: value for loc, value in rho.items()}
     memo: Dict[int, float] = {}
+    # Coarse budget accounting for the fast path: one fuel step per guard,
+    # charged up front.  Deliberately *before* the try — an exhausted
+    # budget must propagate as ResourceExhausted (a LittleRuntimeError
+    # subtype), not be swallowed as a guard flip, which would send the
+    # caller into an even more expensive full re-evaluation.
+    from . import eval as eval_module
+    budget = eval_module.get_budget()
+    if budget is not None:
+        budget.consume(len(cache.comparisons) + len(cache.tostrings)
+                       + len(cache.num_matches))
     try:
         for op, left, right, expected in cache.comparisons:
             if _compare(op, _trace_value(left, rho, memo),

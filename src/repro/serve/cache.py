@@ -22,9 +22,11 @@ from dataclasses import dataclass
 from threading import Event, Lock
 from typing import Dict, Tuple
 
+from ..lang.eval import budget_scope
 from ..lang.incremental import EvalCache, record_evaluation
 from ..lang.program import Program, parse_program
 from ..lang.values import Value
+from .faults import fail_point
 
 __all__ = ["CompileCache", "CompiledProgram"]
 
@@ -78,10 +80,17 @@ class CompileCache:
     True
     """
 
-    def __init__(self, capacity: int = 128):
+    def __init__(self, capacity: int = 128, *, budget=None, faults=None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        #: Prototype :class:`~repro.lang.eval.EvalBudget` applied to the
+        #: leader's first evaluation (cloned per compile — leaders for
+        #: different keys run concurrently) so an adversarial program
+        #: fails its open with ``ResourceExhausted`` instead of wedging
+        #: the leader and every waiter coalesced behind it.
+        self.budget = budget
+        self.faults = faults
         self.hits = 0
         self.misses = 0
         #: Opens served by *waiting* on another thread's compilation.
@@ -129,10 +138,13 @@ class CompileCache:
         # Compile outside the lock: a slow parse must not stall sessions
         # hitting other entries.
         try:
+            fail_point(self.faults, "compile.leader")
             program = parse_program(source, auto_freeze=auto_freeze,
                                     prelude_frozen=prelude_frozen,
                                     with_prelude=with_prelude)
-            output, eval_cache = record_evaluation(program)
+            budget = self.budget.clone() if self.budget is not None else None
+            with budget_scope(budget):
+                output, eval_cache = record_evaluation(program)
             entry = CompiledProgram(program, output, eval_cache)
         except BaseException as error:
             with self._lock:

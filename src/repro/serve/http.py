@@ -20,11 +20,14 @@ Run it from the CLI (``repro serve --port 8000 --shards 4``) or embed it::
 from __future__ import annotations
 
 import json
+import signal
 import sys
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from threading import BoundedSemaphore
 from typing import Optional
 
+from .persist import StatePersister, load_state
 from .protocol import ProtocolError, ServeApp
 
 __all__ = ["make_server", "run_server"]
@@ -60,7 +63,11 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:                   # noqa: N802 (stdlib casing)
         if self.path == "/healthz":
-            self._send_json(200, {"ok": True})
+            # Degraded (sessions awaiting healing, persister being
+            # rejected by the disk) answers 503 so a load balancer can
+            # drain the instance before clients notice.
+            health = self.server.app.manager.health()
+            self._send_json(200 if health["ok"] else 503, health)
         elif self.path == "/stats":
             response = self.server.app.handle({"cmd": "stats"})
             self._send_json(200, response)
@@ -130,20 +137,70 @@ def make_server(host: str, port: int, app: Optional[ServeApp] = None, *,
 
 def run_server(host: str = "127.0.0.1", port: int = 8000, *,
                max_sessions: int = 64, shards: int = 4, workers: int = 0,
-               verbose: bool = False) -> int:
-    """The CLI entry point: serve until interrupted."""
-    app = ServeApp(max_sessions=max_sessions, shards=shards)
+               verbose: bool = False, state_dir: Optional[str] = None,
+               eval_budget=None, faults=None) -> int:
+    """The CLI entry point: serve until interrupted.
+
+    With ``state_dir`` the server replays previously spilled sessions on
+    boot and attaches a write-behind :class:`StatePersister`, so a
+    restart is *warm*: clients resume with their session ids, undo
+    histories, sequence numbers, and even mid-flight drags intact.
+
+    ``SIGTERM`` drains gracefully — stop accepting, finish in-flight
+    requests, persist every session, exit 0 — so a supervisor's routine
+    restart never loses state.
+    """
+    log = (lambda message: sys.stderr.write(f"repro serve: {message}\n")) \
+        if verbose else None
+    app = ServeApp(max_sessions=max_sessions, shards=shards,
+                   eval_budget=eval_budget, faults=faults, log=log)
+    persister = None
+    if state_dir is not None:
+        payloads, corrupt = load_state(state_dir)
+        restored = app.manager.load_state(payloads)
+        persister = StatePersister(state_dir, app.manager.persist_payload,
+                                   faults=faults, log=log)
+        app.manager.attach_persister(persister)
+        persister.start()
+        if restored or corrupt:
+            print(f"repro serve: restored {restored} session(s) from "
+                  f"{state_dir}"
+                  + (f" ({corrupt} corrupt file(s) skipped)"
+                     if corrupt else ""))
     server = make_server(host, port, app, verbose=verbose, workers=workers)
+    draining = threading.Event()
+
+    def _drain(signum, frame):
+        draining.set()
+        # ``shutdown`` blocks until ``serve_forever`` exits; calling it
+        # from this handler (which runs *on* the serving thread) would
+        # deadlock, so hand it to a helper thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _drain)
+    except ValueError:
+        pass                        # not the main thread (embedded use)
     bound_host, bound_port = server.server_address[:2]
     nshards = len(app.manager.shards)
     print(f"repro serve: listening on http://{bound_host}:{bound_port}/api "
           f"(max {max_sessions} live sessions over {nshards} shards"
-          f"{f', {workers} workers' if workers else ''}; "
+          f"{f', {workers} workers' if workers else ''}"
+          f"{f', state in {state_dir}' if state_dir else ''}; "
           f"POST JSON, GET /healthz)")
     try:
         server.serve_forever()
+        if draining.is_set():
+            print("repro serve: draining (SIGTERM)")
     except KeyboardInterrupt:
         print("repro serve: shutting down")
     finally:
+        # ``server_close`` joins the in-flight request threads
+        # (``block_on_close``), so every accepted command completes
+        # before state is flushed.
         server.server_close()
+        if persister is not None:
+            app.manager.flush_state()
+            persister.stop()
+            print(f"repro serve: state persisted to {state_dir}")
     return 0

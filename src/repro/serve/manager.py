@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Tuple
 from ..editor.session import LiveSession
 from ..examples.registry import example_source
 from .cache import CompileCache
+from .faults import fail_point
 from .shard import SessionShard, shard_index
 
 __all__ = ["SessionManager", "SessionExpired", "UnknownSession"]
@@ -61,12 +62,20 @@ class _SessionEntry:
     applied) drag samples, and edit counters."""
 
     __slots__ = ("lock", "seq", "shard", "pending", "edits", "owner",
-                 "depth")
+                 "depth", "poisoned", "last_good")
 
     def __init__(self, shard: SessionShard):
         self.lock = RLock()
         self.seq = 0
         self.shard = shard
+        #: Incident id of the unexpected dispatch failure that poisoned
+        #: this session, or ``None``.  A poisoned session's live object /
+        #: stored snapshot are untrusted; the next touch discards them
+        #: and self-heals from :attr:`last_good`.
+        self.poisoned: Optional[str] = None
+        #: Rolling known-good snapshot, refreshed at command boundaries
+        #: (open, release, edit, slider, undo) — never mid-gesture.
+        self.last_good: Optional[dict] = None
         #: Thread currently inside :meth:`SessionManager.locked` (and
         #: its nesting depth) — lets the evictor refuse a victim whose
         #: RLock it could acquire *re-entrantly* (its own command's
@@ -95,7 +104,8 @@ class SessionManager:
 
     def __init__(self, max_sessions: int = 64, *, shards: int = 1,
                  compile_cache_size: int = 128,
-                 snapshot_limit: int = 1024):
+                 snapshot_limit: int = 1024,
+                 eval_budget=None, faults=None, log=None):
         if max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         if shards < 1:
@@ -103,7 +113,17 @@ class SessionManager:
         shards = min(shards, max_sessions)
         self.max_sessions = max_sessions
         self.snapshot_limit = snapshot_limit
-        self.cache = CompileCache(compile_cache_size)
+        #: Prototype :class:`~repro.lang.eval.EvalBudget`; every session
+        #: (and the compile cache's leader evaluation) gets its own clone,
+        #: since budget counters are mutable per-run state.
+        self.eval_budget = eval_budget
+        #: Armed :class:`~repro.serve.faults.FaultPlan`, if any.
+        self.faults = faults
+        #: ``log(message)`` sink for failure events (``--verbose`` wires
+        #: it to stderr; default drops them — the *counters* always count).
+        self._log = log if log is not None else (lambda message: None)
+        self.cache = CompileCache(compile_cache_size, budget=eval_budget,
+                                  faults=faults)
         # Snapshot budgets get a floor of 1 so a small global limit split
         # across shards never silently expires an eviction on the spot
         # (the effective global bound rounds up to at most one per shard).
@@ -124,6 +144,19 @@ class SessionManager:
         self.expired = 0
         self.edits = 0
         self.migrations = 0
+        #: Unexpected dispatch failures (sessions quarantined), heals
+        #: performed, sessions lost because healing had nothing to
+        #: restore from, and commands refused over budget.
+        self.incidents = 0
+        self.healed = 0
+        self.heal_failures = 0
+        self.limit_errors = 0
+        #: Eviction flush/snapshot failures (previously swallowed).
+        self.evict_failures = 0
+        #: Failed last-good snapshot refreshes (session kept the older one).
+        self.snapshot_failures = 0
+        #: Attached :class:`~repro.serve.persist.StatePersister`, if any.
+        self.persister = None
 
     @staticmethod
     def _split(total: int, parts: int, index: int) -> int:
@@ -150,7 +183,7 @@ class SessionManager:
         compiled, hit = self.cache.compile(source, auto_freeze=auto_freeze,
                                            prelude_frozen=prelude_frozen)
         session = LiveSession(program=compiled.program, heuristic=heuristic,
-                              seed=compiled.seed)
+                              seed=compiled.seed, budget=self._session_budget())
         with self._lock:
             sid = f"s{next(self._ids)}"
             shard = self.shards[shard_index(sid, len(self.shards))]
@@ -159,10 +192,21 @@ class SessionManager:
         # stores must never lag behind the entry.
         shard.admit(sid, session)
         with self._lock:
-            self._entries[sid] = _SessionEntry(shard)
+            entry = _SessionEntry(shard)
+            self._entries[sid] = entry
             self.opened += 1
+        # Every session carries a last-good snapshot from birth, so
+        # quarantine can always heal (a fresh session's snapshot is just
+        # its source text plus empty overlays).
+        entry.last_good = session.snapshot()
+        if self.persister is not None:
+            self.persister.mark_dirty(sid)
         self._shed(shard, exclude=sid)
         return sid, session, hit
+
+    def _session_budget(self):
+        return self.eval_budget.clone() if self.eval_budget is not None \
+            else None
 
     def get(self, session_id: str) -> LiveSession:
         """The live session for ``session_id``, rehydrating if evicted.
@@ -204,6 +248,65 @@ class SessionManager:
             entry.shard.forget(session_id)
             with self._lock:
                 self._entries.pop(session_id, None)
+        if self.persister is not None:
+            self.persister.remove(session_id)
+
+    # -- crash quarantine + self-healing ------------------------------------------
+
+    def quarantine(self, session_id: str, incident: str) -> None:
+        """Mark a session poisoned after an unexpected dispatch failure.
+
+        The live object (and any stored snapshot) are no longer trusted —
+        the failed command may have died mid-mutation.  They stay in
+        place, untouched, until the next command on the session heals it
+        from :attr:`_SessionEntry.last_good` (:meth:`_materialize`).
+        A second incident on an already-poisoned session keeps the
+        *first* incident id (that is the state the healer will report
+        having recovered from).
+        """
+        entry = self._entries.get(session_id)
+        if entry is None:
+            return                  # closed/expired concurrently: nothing
+        # Takes the session lock itself (re-entrant if the caller still
+        # holds it): the failed command's ``locked()`` scope has already
+        # exited by the time the shard boundary runs this.
+        with entry.lock:
+            if entry.poisoned is None:
+                entry.poisoned = incident
+            entry.pending = None    # queued gesture died with the command
+        with self._lock:
+            self.incidents += 1
+        if self.persister is not None:
+            # The on-disk state converges onto last-good too.
+            self.persister.mark_dirty(session_id)
+        self._log(f"quarantine: session {session_id} poisoned "
+                  f"(incident {incident})")
+
+    def update_last_good(self, session_id: str,
+                         session: LiveSession) -> None:
+        """Refresh the rolling known-good snapshot at a command boundary
+        (the protocol calls this after successful state-changing commands
+        — never mid-gesture).  Caller holds the session lock.  A snapshot
+        failure (``snapshot.serialize`` fault point) keeps the previous —
+        still correct, just older — snapshot and counts the event."""
+        entry = self._held_entry(session_id)
+        try:
+            fail_point(self.faults, "snapshot.serialize")
+            entry.last_good = session.snapshot()
+        except Exception as error:
+            with self._lock:
+                self.snapshot_failures += 1
+            self._log(f"last-good snapshot of {session_id} failed: {error}")
+
+    def poisoned_count(self) -> int:
+        with self._lock:
+            return sum(1 for entry in self._entries.values()
+                       if entry.poisoned is not None)
+
+    def note_limit_error(self) -> None:
+        """Count one command refused with ``program_limit`` (422)."""
+        with self._lock:
+            self.limit_errors += 1
 
     def record_edit(self, session_id: str, kind: str) -> None:
         """Count one :meth:`~repro.editor.session.LiveSession.edit_source`
@@ -252,6 +355,8 @@ class SessionManager:
         caller must hold the session lock (:meth:`locked`)."""
         entry = self._held_entry(session_id)
         entry.seq += 1
+        if self.persister is not None:
+            self.persister.mark_dirty(session_id)
         return entry.seq
 
     # -- queued drags ------------------------------------------------------------
@@ -325,6 +430,8 @@ class SessionManager:
                      ) -> LiveSession:
         """Find or rehydrate the session.  Caller holds the session lock,
         so the home shard cannot change underneath us."""
+        if entry.poisoned is not None:
+            return self._heal(session_id, entry)
         shard = entry.shard
         session = shard.touch(session_id)
         if session is not None:
@@ -338,9 +445,51 @@ class SessionManager:
             # yet) is in flight — report it as such, not as a 404.
             self._entry(session_id)
             raise SessionExpired(session_id)
-        session = LiveSession.restore(snapshot,
-                                      compile_fn=self._compile_for_restore)
+        session = self._restore(snapshot)
         shard.note_rehydrated()
+        shard.admit(session_id, session)
+        self._shed(shard, exclude=session_id)
+        return session
+
+    def _restore(self, snapshot: dict) -> LiveSession:
+        fail_point(self.faults, "snapshot.deserialize")
+        return LiveSession.restore(snapshot,
+                                   compile_fn=self._compile_for_restore,
+                                   budget=self._session_budget())
+
+    def _heal(self, session_id: str, entry: _SessionEntry) -> LiveSession:
+        """Self-heal a poisoned session from its last-good snapshot.
+
+        The untrusted live object and any stored snapshot are discarded
+        first.  Healing failure (no last-good snapshot, or its restore
+        itself fails) forgets the session and tombstones the id — the
+        client gets the structured 410, never a wedged or corrupt
+        session.  Caller holds the session lock.
+        """
+        incident = entry.poisoned
+        shard = entry.shard
+        shard.remove_live(session_id)
+        shard.pop_snapshot(session_id)
+        try:
+            if entry.last_good is None:
+                raise ValueError("no last-good snapshot")
+            session = self._restore(entry.last_good)
+        except Exception as error:
+            with self._lock:
+                self.heal_failures += 1
+                if self._entries.pop(session_id, None) is not None:
+                    self._expired_ids[session_id] = True
+                    self.expired += 1
+            if self.persister is not None:
+                self.persister.remove(session_id)
+            self._log(f"heal: session {session_id} lost "
+                      f"(incident {incident}): {error}")
+            raise SessionExpired(session_id)
+        entry.poisoned = None
+        with self._lock:
+            self.healed += 1
+        self._log(f"heal: session {session_id} restored from last-good "
+                  f"snapshot (incident {incident})")
         shard.admit(session_id, session)
         self._shed(shard, exclude=session_id)
         return session
@@ -380,19 +529,42 @@ class SessionManager:
                             self.migrations += 1
                         shard.note_migration(inbound=False)
                         target.note_migration(inbound=True)
+                    elif entry.poisoned is not None:
+                        # Never snapshot a poisoned session's broken live
+                        # state: store its last-good snapshot, so the
+                        # rehydration path *is* the healing path.
+                        if entry.last_good is not None:
+                            expired = shard.store_snapshot(victim_id,
+                                                           entry.last_good)
+                            entry.poisoned = None
+                            with self._lock:
+                                self.healed += 1
+                            shard.note_evicted()
+                            self._expire(expired)
+                        else:
+                            with self._lock:
+                                self.heal_failures += 1
+                            self._expire([victim_id])
                     else:
                         try:
                             self._flush(entry, session)
+                            fail_point(self.faults, "snapshot.serialize")
                             snapshot = session.snapshot()
-                        except Exception:
+                        except Exception as error:
                             # A failed flush or snapshot must not destroy
                             # the victim or poison the bystander request
                             # that triggered shedding: drop the queued
                             # gesture, put the victim back (as MRU), and
                             # stay over budget until a later request
-                            # retries the shed.
+                            # retries the shed.  Counted and logged — a
+                            # silently-ignored failure here previously
+                            # hid every snapshot bug until restart.
                             entry.pending = None
                             shard.admit(victim_id, session)
+                            with self._lock:
+                                self.evict_failures += 1
+                            self._log(f"evict: flush/snapshot of "
+                                      f"{victim_id} failed: {error}")
                             return
                         expired = shard.store_snapshot(victim_id,
                                                        snapshot)
@@ -420,6 +592,7 @@ class SessionManager:
     def _expire(self, session_ids: List[str]) -> None:
         if not session_ids:
             return
+        expired = []
         with self._lock:
             for sid in session_ids:
                 if self._entries.pop(sid, None) is None:
@@ -429,21 +602,138 @@ class SessionManager:
                     continue
                 self._expired_ids[sid] = True
                 self.expired += 1
+                expired.append(sid)
             while len(self._expired_ids) > self._expired_limit:
                 self._expired_ids.popitem(last=False)
+        if self.persister is not None:
+            for sid in expired:
+                self.persister.remove(sid)
 
     def _compile_for_restore(self, source: str, **parse_options):
         compiled, _hit = self.cache.compile(source, **parse_options)
         return compiled.program, compiled.seed
 
+    # -- durable state (write-behind persister) -----------------------------------
+
+    def attach_persister(self, persister) -> None:
+        """Wire a :class:`~repro.serve.persist.StatePersister` (already
+        constructed over :meth:`persist_payload`); every currently known
+        session is marked dirty so a reattach starts from a full spill."""
+        self.persister = persister
+        with self._lock:
+            ids = list(self._entries)
+        for sid in ids:
+            persister.mark_dirty(sid)
+
+    def persist_payload(self, session_id: str) -> Optional[dict]:
+        """The JSON payload the persister writes for one session, or
+        ``None`` when the session is gone (its file is deleted).
+
+        Called from the persister thread: takes the session lock briefly
+        so it never observes a command mid-mutation, and reads LRU state
+        with non-reordering peeks.  A poisoned session persists its
+        last-good snapshot — quarantine survives restarts as an
+        already-healed session.
+        """
+        with self._lock:
+            entry = self._entries.get(session_id)
+        if entry is None:
+            return None
+        with entry.lock:
+            if session_id not in self._entries:
+                return None         # closed while we acquired the lock
+            if entry.poisoned is not None:
+                snapshot = entry.last_good
+            else:
+                session = entry.shard.peek_live(session_id)
+                if session is not None:
+                    try:
+                        fail_point(self.faults, "snapshot.serialize")
+                        snapshot = session.snapshot()
+                    except Exception as error:
+                        # Persist the older-but-correct snapshot rather
+                        # than nothing (or a torn state).
+                        with self._lock:
+                            self.snapshot_failures += 1
+                        self._log(f"persist: snapshot of {session_id} "
+                                  f"failed, keeping last-good: {error}")
+                        snapshot = entry.last_good
+                else:
+                    snapshot = entry.shard.peek_snapshot(session_id) \
+                        or entry.last_good
+            if snapshot is None:
+                return None
+            pending = list(entry.pending) if entry.pending is not None \
+                else None
+            return {"version": 1, "sid": session_id, "seq": entry.seq,
+                    "pending": pending, "snapshot": snapshot}
+
+    def load_state(self, payloads: List[dict]) -> int:
+        """Replay persisted payloads on boot; returns sessions restored.
+
+        Sessions are admitted *lazily*: the payload's snapshot goes into
+        the home shard's snapshot store and the first touch rehydrates it
+        (so a boot over thousands of spilled sessions costs directory
+        reads, not evaluations).  The id counter fast-forwards past every
+        replayed id so fresh opens can never collide with a restored
+        session.
+        """
+        restored = 0
+        max_id = 0
+        for payload in payloads:
+            sid = payload.get("sid")
+            snapshot = payload.get("snapshot")
+            if not isinstance(sid, str) or not isinstance(snapshot, dict):
+                continue
+            if sid.startswith("s") and sid[1:].isdigit():
+                max_id = max(max_id, int(sid[1:]))
+            shard = self.shards[shard_index(sid, len(self.shards))]
+            entry = _SessionEntry(shard)
+            entry.seq = int(payload.get("seq") or 0)
+            pending = payload.get("pending")
+            if pending:
+                shape, zone, count, last = pending
+                entry.pending = (int(shape), str(zone), int(count),
+                                 list(last))
+            entry.last_good = snapshot
+            expired = shard.store_snapshot(sid, snapshot)
+            with self._lock:
+                self._entries[sid] = entry
+            self._expire(expired)
+            if self.persister is not None:
+                self.persister.mark_dirty(sid)
+            restored += 1
+        if max_id:
+            with self._lock:
+                next_id = next(self._ids)
+                self._ids = itertools.count(max(next_id, max_id + 1))
+        return restored
+
+    def flush_state(self) -> None:
+        """Persist every known session now — the graceful-shutdown path
+        (SIGTERM: stop accepting, finish in-flight, then this)."""
+        if self.persister is None:
+            return
+        with self._lock:
+            ids = list(self._entries)
+        for sid in ids:
+            self.persister.mark_dirty(sid)
+        self.persister.flush()
+
     # -- introspection ----------------------------------------------------------
 
     def stats(self) -> dict:
         per_shard = [shard.stats() for shard in self.shards]
+        persister = self.persister
+        persist_stats = persister.stats() if persister is not None else None
+        faults = self.faults
+        fault_counts = faults.counts() if faults is not None else {}
         with self._lock:
             session_edits = {sid: dict(entry.edits)
                              for sid, entry in self._entries.items()
                              if entry.edits}
+            poisoned = sum(1 for entry in self._entries.values()
+                           if entry.poisoned is not None)
             return {
                 "live_sessions": sum(s["live"] for s in per_shard),
                 "snapshotted_sessions": sum(s["snapshots"]
@@ -459,4 +749,48 @@ class SessionManager:
                 "session_edits": session_edits,
                 "per_shard": per_shard,
                 "compile_cache": self.cache.stats(),
+                "incidents": self.incidents,
+                "healed": self.healed,
+                "heal_failures": self.heal_failures,
+                "poisoned_sessions": poisoned,
+                "limit_errors": self.limit_errors,
+                "evict_failures": self.evict_failures,
+                "snapshot_failures": self.snapshot_failures,
+                "persist": persist_stats,
+                "faults": fault_counts,
             }
+
+    def health(self) -> dict:
+        """Liveness + degradation signal for ``GET /healthz``.
+
+        ``ok`` is ``False`` — the HTTP layer answers 503 — while any
+        session awaits healing or the persister's disk is currently
+        rejecting writes, so a load balancer can drain the instance
+        before clients notice.  Fault counters and the persist backlog
+        ride along for observability without gating.
+        """
+        poisoned = self.poisoned_count()
+        persister = self.persister
+        degraded = []
+        if poisoned:
+            degraded.append("poisoned_sessions")
+        persist = None
+        if persister is not None:
+            persist = persister.stats()
+            if persist["consecutive_failures"] > 0:
+                degraded.append("persist_failures")
+        with self._lock:
+            report = {
+                "ok": not degraded,
+                "degraded": degraded,
+                "poisoned_sessions": poisoned,
+                "incidents": self.incidents,
+                "healed": self.healed,
+                "heal_failures": self.heal_failures,
+                "limit_errors": self.limit_errors,
+                "evict_failures": self.evict_failures,
+            }
+        report["persist_backlog"] = persist["backlog"] if persist else 0
+        report["persist_failures"] = persist["failures"] if persist else 0
+        report["faults"] = self.faults.counts() if self.faults else {}
+        return report

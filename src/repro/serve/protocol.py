@@ -71,13 +71,19 @@ the session untouched.
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 from ..editor.session import EditorError, LiveSession
-from ..lang.errors import LittleError, LittleSyntaxError
+from ..lang.errors import LittleError, LittleSyntaxError, ResourceExhausted
 from .manager import SessionExpired, SessionManager, UnknownSession
 
 __all__ = ["ProtocolError", "ServeApp"]
+
+#: Commands that mutate session state — the ones a forced-budget fault
+#: (``budget.force``) refuses and a rolling last-good snapshot follows.
+STATE_COMMANDS = frozenset({"drag", "edit", "release", "set_slider",
+                            "undo"})
 
 
 class ProtocolError(Exception):
@@ -120,9 +126,16 @@ class ServeApp:
     """The protocol layer: one dict in, one dict out, no exceptions."""
 
     def __init__(self, manager: Optional[SessionManager] = None, *,
-                 max_sessions: int = 64, shards: int = 1):
+                 max_sessions: int = 64, shards: int = 1,
+                 eval_budget=None, faults=None, log=None):
         self.manager = manager if manager is not None \
-            else SessionManager(max_sessions=max_sessions, shards=shards)
+            else SessionManager(max_sessions=max_sessions, shards=shards,
+                                eval_budget=eval_budget, faults=faults,
+                                log=log)
+        #: The manager's armed fault plan (covers an externally built
+        #: manager too) — dispatch-level points fire from here.
+        self.faults = self.manager.faults
+        self._incident_ids = itertools.count(1)
         self._handlers = {
             "open": self._cmd_open,
             "drag": self._cmd_drag,
@@ -140,7 +153,18 @@ class ServeApp:
     # -- dispatch ---------------------------------------------------------------
 
     def handle(self, request) -> dict:
-        """Process one request dict; never raises."""
+        """Process one request dict; never raises.
+
+        The final ``except Exception`` is the **shard boundary** of
+        fault containment: an unforeseen failure (a bug, or an armed
+        ``dispatch.*`` fault) becomes a structured ``internal_error``
+        tagged with an incident id, and the target session — whose
+        state the dead command may have torn mid-mutation — is
+        quarantined (:meth:`~repro.serve.manager.SessionManager
+        .quarantine`); its next touch transparently self-heals from
+        the last-good snapshot.  One bug never bricks a session id,
+        and never takes the server down.
+        """
         try:
             if not isinstance(request, dict):
                 raise ProtocolError("bad_request",
@@ -150,6 +174,13 @@ class ServeApp:
             if handler is None:
                 raise ProtocolError("unknown_command",
                                     f"unknown command {cmd!r}", status=404)
+            if self.faults is not None:
+                if cmd in STATE_COMMANDS \
+                        and self.faults.should_fire("budget.force"):
+                    raise ResourceExhausted(
+                        "fuel", 0, "program exceeded its evaluation "
+                        "budget: forced by fault injection (budget.force)")
+                self.faults.fire(f"dispatch.{cmd}")
             response = handler(request)
             response["ok"] = True
             return response
@@ -168,8 +199,30 @@ class ServeApp:
             return ProtocolError("editor_error", str(error)).to_response()
         except LittleSyntaxError as error:
             return ProtocolError("parse_error", str(error)).to_response()
+        except ResourceExhausted as error:
+            # The session layer already rolled the session back to its
+            # pre-command state (like ``edit_source`` does for run
+            # failures), so refusing the command leaves state untouched.
+            self.manager.note_limit_error()
+            response = ProtocolError("program_limit", str(error),
+                                     status=422).to_response()
+            response["error"]["kind"] = error.kind
+            response["error"]["limit"] = error.limit
+            return response
         except LittleError as error:
             return ProtocolError("program_error", str(error)).to_response()
+        except Exception as error:      # noqa: BLE001 — the shard boundary
+            incident = f"inc{next(self._incident_ids)}"
+            sid = request.get("session") if isinstance(request, dict) \
+                else None
+            if isinstance(sid, str):
+                self.manager.quarantine(sid, incident)
+            response = ProtocolError(
+                "internal_error",
+                f"unexpected failure handling {cmd!r} "
+                f"(incident {incident}): {error}", status=500).to_response()
+            response["error"]["incident"] = incident
+            return response
 
     def _check_seq(self, request: dict, sid: str) -> None:
         """Validate an optional client sequence number against the
@@ -323,6 +376,7 @@ class ServeApp:
             # ``parse_error``) leaves the session exactly as it was.
             diff = session.edit_source(source)
             self.manager.record_edit(sid, diff.kind)
+            self.manager.update_last_good(sid, session)
             response = self._state(session)
             response.update({
                 "session": sid,
@@ -346,6 +400,7 @@ class ServeApp:
                                     f"session {sid} has no drag in flight",
                                     status=409)
             session.release()
+            self.manager.update_last_good(sid, session)
             response = self._state(session)
             response.update({"session": sid,
                              "active_zones": session.active_zone_count(),
@@ -368,6 +423,7 @@ class ServeApp:
                     "no_slider", f"no slider named {name!r}; available: "
                     f"{sorted(loc.display() for loc in session.sliders)}",
                     status=404)
+            self.manager.update_last_good(sid, session)
             response = self._state(session)
             response.update({"session": sid, "loc": name,
                              "value": session.sliders[loc].value,
@@ -384,6 +440,7 @@ class ServeApp:
                                     f"session {sid} has an empty history",
                                     status=409)
             session.undo()
+            self.manager.update_last_good(sid, session)
             response = self._state(session)
             response["session"] = sid
             response["seq"] = self.manager.bump_seq(sid)

@@ -85,6 +85,12 @@ class SessionShard:
         with self._lock:
             return self._live.pop(session_id, None)
 
+    def peek_live(self, session_id: str) -> Optional[LiveSession]:
+        """The live session *without* bumping its LRU position — for
+        observers (the persister) that must not distort eviction order."""
+        with self._lock:
+            return self._live.get(session_id)
+
     def admit_within_budget(self, session_id: str,
                             session: LiveSession) -> bool:
         """Install a live session only if the shard has headroom — the
@@ -128,6 +134,11 @@ class SessionShard:
     def pop_snapshot(self, session_id: str) -> Optional[dict]:
         with self._lock:
             return self._snapshots.pop(session_id, None)
+
+    def peek_snapshot(self, session_id: str) -> Optional[dict]:
+        """Read a stored snapshot without consuming or reordering it."""
+        with self._lock:
+            return self._snapshots.get(session_id)
 
     def snapshot_count(self) -> int:
         with self._lock:

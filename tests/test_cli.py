@@ -122,18 +122,42 @@ class TestServe:
         calls = {}
 
         def fake_run_server(host, port, *, max_sessions, shards, workers,
-                            verbose):
+                            verbose, state_dir, eval_budget, faults):
             calls.update(host=host, port=port, max_sessions=max_sessions,
-                         shards=shards, workers=workers, verbose=verbose)
+                         shards=shards, workers=workers, verbose=verbose,
+                         state_dir=state_dir, eval_budget=eval_budget,
+                         faults=faults)
             return 0
 
         import repro.serve.http as serve_http
         monkeypatch.setattr(serve_http, "run_server", fake_run_server)
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
         assert main(["serve", "--port", "0", "--max-sessions", "5",
                      "--shards", "2", "--workers", "8"]) == 0
         assert calls == {"host": "127.0.0.1", "port": 0,
                          "max_sessions": 5, "shards": 2, "workers": 8,
-                         "verbose": False}
+                         "verbose": False, "state_dir": None,
+                         "eval_budget": None, "faults": None}
+
+    def test_serve_wires_fault_options_through(self, monkeypatch,
+                                               tmp_path):
+        calls = {}
+
+        def fake_run_server(host, port, **kwargs):
+            calls.update(kwargs)
+            return 0
+
+        import repro.serve.http as serve_http
+        monkeypatch.setattr(serve_http, "run_server", fake_run_server)
+        monkeypatch.setenv("REPRO_FAULTS", "dispatch.*:0.5")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "3")
+        state = str(tmp_path / "state")
+        assert main(["serve", "--port", "0", "--eval-budget", "123456",
+                     "--state-dir", state]) == 0
+        assert calls["state_dir"] == state
+        assert calls["eval_budget"].max_fuel == 123456
+        assert calls["faults"].seed == 3
+        assert calls["faults"].rate_for("dispatch.drag") == 0.5
 
 
 class TestExamples:

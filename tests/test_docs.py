@@ -31,7 +31,9 @@ DOCTEST_MODULES = [
     "repro.lang.program",
     "repro.serve",
     "repro.serve.cache",
+    "repro.serve.faults",
     "repro.serve.manager",
+    "repro.serve.persist",
     "repro.serve.protocol",
     "repro.serve.shard",
 ]
