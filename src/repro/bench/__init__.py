@@ -4,7 +4,8 @@ from .corpus import PreparedExample, prepare_corpus, prepare_example
 from .drag_latency import (DEFAULT_EXAMPLES as DRAG_LATENCY_EXAMPLES,
                            RELEASE_EXAMPLES, DragLatencyRow,
                            ReleaseLatencyRow, measure_drag_latency,
-                           measure_release_latency, median_release_speedup,
+                           measure_release_latency,
+                           median_compiled_speedup, median_release_speedup,
                            median_speedup, naive_prepare, prepare_equal)
 from .edit_latency import (EDIT_EXAMPLES, EditLatencyRow,
                            measure_edit_latency, median_edit_speedup,
@@ -35,7 +36,8 @@ from .zone_stats import (ZoneStatsRow, ZoneTotals, corpus_zone_stats,
 __all__ = [
     "PreparedExample", "prepare_corpus", "prepare_example",
     "DRAG_LATENCY_EXAMPLES", "DragLatencyRow", "measure_drag_latency",
-    "median_speedup", "format_drag_latency_table",
+    "median_speedup", "median_compiled_speedup",
+    "format_drag_latency_table",
     "RELEASE_EXAMPLES", "ReleaseLatencyRow", "measure_release_latency",
     "median_release_speedup", "naive_prepare", "prepare_equal",
     "format_release_latency_table",

@@ -161,23 +161,27 @@ def format_perf_table(times: Dict[str, OperationTimes]) -> str:
 
 def format_drag_latency_table(rows) -> str:
     """Before/after table for the incremental live-sync hot path: drag
-    steps per second, naive (pre-optimization) vs. fast (incremental)."""
-    from .drag_latency import median_speedup
+    steps per second, naive (pre-optimization) vs. fast (incremental)
+    vs. compiled (trace-compiled replay); ``c-gain`` is compiled over
+    fast — the trace compiler's own tier."""
+    from .drag_latency import median_compiled_speedup, median_speedup
 
     lines = [
         "Drag latency: live-sync steps/sec over a "
         f"{rows[0].steps if rows else 0}-step gesture",
         f"{'Example':28s}{'naive/s':>10s}{'fast/s':>10s}{'speedup':>9s}"
-        f"{'identical':>11s}",
+        f"{'compiled/s':>12s}{'c-gain':>8s}{'identical':>11s}",
     ]
     for row in rows:
         lines.append(
             f"{row.name:28s}{row.naive_sps:>10.1f}{row.fast_sps:>10.1f}"
-            f"{row.speedup:>8.2f}x"
+            f"{row.speedup:>8.2f}x{row.compiled_sps:>12.1f}"
+            f"{row.compiled_speedup:>7.2f}x"
             f"{'yes' if row.outputs_identical else 'NO':>11s}")
     if rows:
         lines.append(f"{'median speedup':28s}{'':>10s}{'':>10s}"
-                     f"{median_speedup(rows):>8.2f}x")
+                     f"{median_speedup(rows):>8.2f}x{'':>12s}"
+                     f"{median_compiled_speedup(rows):>7.2f}x")
     return "\n".join(lines)
 
 
@@ -253,16 +257,18 @@ def format_serve_scaling_table(rows) -> str:
         "Serve scaling: drag-events/s, N worker threads on disjoint "
         "sessions",
         f"{'workers':>8s}{'global/s':>11s}{'shard/s':>11s}"
-        f"{'coalesce/s':>12s}{'speedup':>9s}{'identical':>11s}",
+        f"{'coalesce/s':>12s}{'compiled/s':>12s}{'speedup':>9s}"
+        f"{'identical':>11s}",
     ]
     for row in rows:
         lines.append(
             f"{row.workers:>8d}{row.global_eps:>11.1f}{row.shard_eps:>11.1f}"
-            f"{row.coalesce_eps:>12.1f}{row.speedup:>8.2f}x"
+            f"{row.coalesce_eps:>12.1f}{row.compiled_eps:>12.1f}"
+            f"{row.speedup:>8.2f}x"
             f"{'yes' if row.responses_identical else 'NO':>11s}")
     lines.append("(global = one dispatch lock, eager re-runs; shard = "
                  "per-session locks; coalesce = queued bursts applied as "
-                 "one re-run)")
+                 "one re-run; compiled = coalesce + trace-compiled replay)")
     return "\n".join(lines)
 
 

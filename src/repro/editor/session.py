@@ -72,14 +72,18 @@ class LiveSession:
                  auto_freeze: bool = False,
                  prelude_frozen: bool = True,
                  seed=None,
-                 budget=None):
+                 budget=None,
+                 compiled: Optional[bool] = None,
+                 specialize_probe=None):
         if (source is None) == (program is None):
             raise EditorError("provide exactly one of source or program")
         if program is None:
             program = parse_program(source, auto_freeze=auto_freeze,
                                     prelude_frozen=prelude_frozen)
         self.pipeline = SyncPipeline(program, heuristic=heuristic,
-                                     record=True, budget=budget)
+                                     record=True, budget=budget,
+                                     compiled=compiled,
+                                     specialize_probe=specialize_probe)
         self.history: List[Program] = []
         self._drag_base: Optional[Program] = None
         self._drag_trigger: Optional[MouseTrigger] = None
@@ -394,16 +398,20 @@ class LiveSession:
 
     @classmethod
     def restore(cls, snapshot: dict, *, compile_fn=None,
-                budget=None) -> "LiveSession":
+                budget=None, compiled: Optional[bool] = None,
+                specialize_probe=None) -> "LiveSession":
         """Rebuild a session from a :meth:`snapshot`.
 
         ``compile_fn(source, **parse_options)`` must return a tuple of the
         parsed base :class:`Program` and an optional evaluation seed
         ``(output, eval_cache)`` for it — the serve layer passes its shared
-        compile cache here; the default parses from scratch.  The restored
-        session is behaviorally identical to the snapshotted one: same
-        rendered output, same undo history, and any in-flight drag is
-        replayed so the gesture can simply continue.
+        compile cache here; the default parses from scratch.  A seed cache
+        that already carries a compiled drag artifact
+        (:mod:`repro.lang.compile`) carries it into the restored session
+        for free, so rehydration under LRU pressure skips re-specializing
+        too.  The restored session is behaviorally identical to the
+        snapshotted one: same rendered output, same undo history, and any
+        in-flight drag is replayed so the gesture can simply continue.
         """
         options = snapshot["options"]
         parse_options = {"auto_freeze": options["auto_freeze"],
@@ -472,7 +480,8 @@ class LiveSession:
         seed = base_for(main_source)[1]
         session = cls(program=current, heuristic=options["heuristic"],
                       seed=seed if not own_changes[-1] else None,
-                      budget=budget)
+                      budget=budget, compiled=compiled,
+                      specialize_probe=specialize_probe)
         session.history = chain
         drag = snapshot.get("drag")
         if drag is not None:

@@ -56,13 +56,22 @@ class EvalCache:
     """A recorded run: the output value plus the guards that pin down its
     control flow.  Valid for any ρ under which every guard holds."""
 
-    __slots__ = ("output", "comparisons", "tostrings", "num_matches")
+    __slots__ = ("output", "comparisons", "tostrings", "num_matches",
+                 "compiled", "compile_failed")
 
     def __init__(self, output: Value, recorder: Recorder):
         self.output = output
         self.comparisons = recorder.comparisons
         self.tostrings = recorder.tostrings
         self.num_matches = recorder.num_matches
+        #: Lazily attached :class:`~repro.lang.compile.CompiledEvaluation`
+        #: (:func:`~repro.lang.compile.ensure_compiled`).  Lives and dies
+        #: with this recording: a guard flip or structural change replaces
+        #: the whole cache, artifact included.  ``compile_failed`` marks a
+        #: recording whose specialization failed — never retried; the
+        #: interpreted replay below stays the fast path.
+        self.compiled = None
+        self.compile_failed = False
 
 
 def record_evaluation(program) -> Tuple[Value, EvalCache]:

@@ -12,7 +12,9 @@ The live-sync hot path (drag → substitute → evaluate, §4.1) is incremental:
 * Prelude ρ0 is computed once and merged by dict-update instead of
   re-walking the combined AST in the constructor;
 * ``substitute`` maintains a ``Loc → ENum`` index over the user AST and
-  shares every unmodified subtree copy-on-write.
+  shares every unmodified subtree copy-on-write — and the rewrite itself
+  is deferred until some consumer actually reads ``user_ast``, so a drag
+  step pays only for the ρ0/index dict merges.
 
 Substituting a Prelude location (possible when ``prelude_frozen=False``)
 leaves the shared caches untouched: such programs carry their own combined
@@ -35,14 +37,16 @@ from .values import Value
 class Program:
     """A parsed little program, ready to evaluate and synthesize against."""
 
-    __slots__ = ("user_ast", "source", "with_prelude", "prelude_frozen",
-                 "auto_freeze", "rho0", "last_change", "_ast", "_num_index",
-                 "_prelude_modified")
+    __slots__ = ("_user_ast", "_lazy_base", "_lazy_rho", "source",
+                 "with_prelude", "prelude_frozen", "auto_freeze", "rho0",
+                 "last_change", "_ast", "_num_index", "_prelude_modified")
 
     def __init__(self, user_ast: Expr, *, source: str = "",
                  with_prelude: bool = True, prelude_frozen: bool = True,
                  auto_freeze: bool = False):
-        self.user_ast = user_ast
+        self._user_ast = user_ast
+        self._lazy_base: Optional[Expr] = None
+        self._lazy_rho: Optional[Dict[Loc, float]] = None
         self.source = source
         self.with_prelude = with_prelude
         self.prelude_frozen = prelude_frozen
@@ -62,6 +66,24 @@ class Program:
             self.rho0.update(collect_rho0(user_ast))
         else:
             self.rho0 = collect_rho0(user_ast)
+
+    # -- the user AST (rewritten lazily; the drag loop never reads it) ---------
+
+    @property
+    def user_ast(self) -> Expr:
+        """The user AST with every substitution applied.
+
+        The drag loop only consumes ρ0 and the change set — the tree
+        itself is read by the full-evaluation fallback, ``unparse``, and
+        structural edits.  ``substitute``'s fast path therefore defers the
+        copy-on-write rewrite, recording ``(base AST, accumulated ρ)``;
+        the walk happens here, on first access.
+        """
+        if self._user_ast is None:
+            self._user_ast = substitute(self._lazy_base, self._lazy_rho)
+            self._lazy_base = None
+            self._lazy_rho = None
+        return self._user_ast
 
     # -- the combined AST (built lazily; the fast paths never need it) ---------
 
@@ -106,23 +128,42 @@ class Program:
         if touches_prelude or self._prelude_modified or not self.with_prelude:
             return self._substitute_full(rho)
         # Fast path: ρ only touches user literals.  Use the Loc → ENum
-        # index to drop no-op entries, rewrite the user AST copy-on-write,
-        # and update rho0/index by dict-merge — the Prelude is never walked.
+        # index to drop no-op entries and update rho0/index by dict-merge —
+        # the Prelude is never walked, and the user-AST rewrite itself is
+        # deferred (see :attr:`user_ast`): the drag loop reads only ρ0 and
+        # ``last_change``, so per-step the walk never runs at all.
         index = self._index()
         effective = {loc: value for loc, value in rho.items()
                      if loc in index}
         replaced: Dict[Loc, ENum] = {}
-        new_user = substitute(self.user_ast, effective, collect=replaced)
+        for loc, value in effective.items():
+            num = index[loc]
+            if value != num.value:      # the no-op check substitute applies
+                replaced[loc] = ENum(value, loc, num.ann, num.range_ann)
         program = Program.__new__(Program)
-        program.user_ast = new_user
+        if not replaced:
+            program._user_ast = self._user_ast
+            program._lazy_base = self._lazy_base
+            program._lazy_rho = self._lazy_rho
+        else:
+            program._user_ast = None
+            changed = {loc: num.value for loc, num in replaced.items()}
+            if self._user_ast is not None:
+                program._lazy_base = self._user_ast
+                program._lazy_rho = changed
+            else:                       # compose with our own pending ρ
+                merged = dict(self._lazy_rho)
+                merged.update(changed)
+                program._lazy_base = self._lazy_base
+                program._lazy_rho = merged
         program.source = self.source
         program.with_prelude = self.with_prelude
         program.prelude_frozen = self.prelude_frozen
         program.auto_freeze = self.auto_freeze
         program._ast = None
         program._prelude_modified = False
-        # Only the literals actually rewritten (no-op entries are dropped
-        # by ``substitute``) — the change set downstream stages key on.
+        # Only the literals actually rewritten (no-op entries were dropped
+        # above) — the change set downstream stages key on.
         program.last_change = ChangeSet.of(replaced)
         program.rho0 = dict(self.rho0)
         program.rho0.update(effective)
@@ -135,7 +176,9 @@ class Program:
         """Slow path: ρ may touch Prelude literals, so the combined AST is
         rewritten and the program stops relying on the shared caches."""
         program = Program.__new__(Program)
-        program.user_ast = substitute(self.user_ast, rho)
+        program._user_ast = substitute(self.user_ast, rho)
+        program._lazy_base = None
+        program._lazy_rho = None
         program.source = self.source
         program.with_prelude = self.with_prelude
         program.prelude_frozen = self.prelude_frozen

@@ -11,7 +11,11 @@ together with its recorded first evaluation (the output value and the
 control-flow guards of :mod:`repro.lang.incremental`).  Everything stored
 is read-only under sharing: ``Program.substitute`` copies, ``reevaluate``
 only reads the guard list, and each session's pipeline replaces — never
-mutates — the cache entry's objects.
+mutates — the cache entry's objects.  The one sanctioned exception: the
+shared :class:`~repro.lang.incremental.EvalCache` lazily carries the
+compiled drag artifact (:func:`repro.lang.compile.ensure_compiled`), so
+the first session to specialize a recording pays for every later session
+— and for rehydrations under LRU pressure — that adopts the same seed.
 """
 
 from __future__ import annotations

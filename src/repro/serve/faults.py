@@ -12,6 +12,9 @@ Points currently planted (prefix-match with ``*`` to arm a family):
 
 ========================  =====================================================
 ``compile.leader``        the compile-cache leader's evaluation blows up
+``compile.specialize``    specializing a recorded evaluation into a
+                          compiled drag artifact fails — the recording
+                          is pinned to the interpreted fast path
 ``snapshot.serialize``    taking a session snapshot fails (eviction, persist)
 ``snapshot.deserialize``  restoring a snapshot fails (admission, healing)
 ``persist.write``         the write-behind persister hits a full disk

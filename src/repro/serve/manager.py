@@ -155,6 +155,12 @@ class SessionManager:
         self.evict_failures = 0
         #: Failed last-good snapshot refreshes (session kept the older one).
         self.snapshot_failures = 0
+        #: Drag hot paths specialized to compiled artifacts
+        #: (:mod:`repro.lang.compile`), and specializations that failed —
+        #: each failure pins its recording to the interpreted fast path
+        #: (correctness is never at stake; only the speedup is lost).
+        self.specializations = 0
+        self.specialize_failures = 0
         #: Attached :class:`~repro.serve.persist.StatePersister`, if any.
         self.persister = None
 
@@ -183,7 +189,8 @@ class SessionManager:
         compiled, hit = self.cache.compile(source, auto_freeze=auto_freeze,
                                            prelude_frozen=prelude_frozen)
         session = LiveSession(program=compiled.program, heuristic=heuristic,
-                              seed=compiled.seed, budget=self._session_budget())
+                              seed=compiled.seed, budget=self._session_budget(),
+                              specialize_probe=self._specialize_probe)
         with self._lock:
             sid = f"s{next(self._ids)}"
             shard = self.shards[shard_index(sid, len(self.shards))]
@@ -455,7 +462,26 @@ class SessionManager:
         fail_point(self.faults, "snapshot.deserialize")
         return LiveSession.restore(snapshot,
                                    compile_fn=self._compile_for_restore,
-                                   budget=self._session_budget())
+                                   budget=self._session_budget(),
+                                   specialize_probe=self._specialize_probe)
+
+    def _specialize_probe(self, event: str) -> None:
+        """Observe drag hot-path specialization from every session we own
+        (:func:`repro.lang.compile.ensure_compiled`).  ``"attempt"`` is
+        the ``compile.specialize`` fault point — an injected fault aborts
+        that one specialization, which the compiler layer converts into a
+        permanent interpreter fallback for the recording (never a wrong
+        or missing answer); outcomes are counted for ``/stats``."""
+        if event == "attempt":
+            fail_point(self.faults, "compile.specialize")
+        elif event == "compiled":
+            with self._lock:
+                self.specializations += 1
+        elif event == "failed":
+            with self._lock:
+                self.specialize_failures += 1
+            self._log("specialize: compile failed, recording pinned to "
+                      "the interpreted fast path")
 
     def _heal(self, session_id: str, entry: _SessionEntry) -> LiveSession:
         """Self-heal a poisoned session from its last-good snapshot.
@@ -756,6 +782,8 @@ class SessionManager:
                 "limit_errors": self.limit_errors,
                 "evict_failures": self.evict_failures,
                 "snapshot_failures": self.snapshot_failures,
+                "specializations": self.specializations,
+                "specialize_failures": self.specialize_failures,
                 "persist": persist_stats,
                 "faults": fault_counts,
             }

@@ -200,13 +200,35 @@ class Canvas:
                 new_value: Value) -> "Canvas":
         """Incremental rebuild for a *structurally identical* new output
         (see :func:`~repro.svg.node.rebuild_node`).  Traces are preserved,
-        so the loc-dependency index carries over unchanged."""
-        new_canvas = cls(rebuild_node(canvas.root, old_value, new_value))
+        so the loc-dependency index carries over unchanged.
+
+        The flatten order only depends on node kinds, which the rebuild
+        preserves, so shapes are paired with their predecessors by
+        position: an untouched node keeps its old :class:`Shape` (and
+        thereby its lazy caches — both are pure functions of the node), a
+        rebuilt one gets a fresh wrapper with the dependency set
+        transplanted."""
+        new_root = rebuild_node(canvas.root, old_value, new_value)
+        new_canvas = cls.__new__(cls)
+        new_canvas.root = new_root
+        new_canvas.shapes = shapes = []
         new_canvas._loc_index = canvas._loc_index
-        for old_shape, new_shape in zip(canvas.shapes, new_canvas.shapes):
-            new_shape._dep_locs = old_shape._dep_locs
-            if new_shape.node is old_shape.node:
-                new_shape._path_numbers = old_shape._path_numbers
+        old_shapes = canvas.shapes
+
+        def walk(node: SvgNode) -> None:
+            for child in node.children:
+                if child.kind in ("svg", "g"):
+                    walk(child)
+                else:
+                    old_shape = old_shapes[len(shapes)]
+                    if child is old_shape.node:
+                        shapes.append(old_shape)
+                    else:
+                        shape = Shape(len(shapes), child)
+                        shape._dep_locs = old_shape._dep_locs
+                        shapes.append(shape)
+
+        walk(new_root)
         return new_canvas
 
     def _flatten(self, node: SvgNode) -> None:

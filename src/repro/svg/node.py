@@ -101,26 +101,44 @@ def rebuild_node(node: SvgNode, old_value: Value,
     """
     if new_value is old_value:
         return node
-    old_parts = to_pylist(old_value)
-    new_parts = to_pylist(new_value)
-    old_attrs_value = old_parts[1]
-    new_attrs_value = new_parts[1]
+    # ``node`` was validated by :func:`value_to_node`, so both values are
+    # the cons spine ``[kind attrs children]`` with ``len(node.attrs)``
+    # attribute pairs and ``len(node.children)`` children — destructure the
+    # cells directly rather than materializing python lists on every drag
+    # step (this is the hottest part of the incremental canvas rebuild).
+    old_rest = old_value.tail
+    new_rest = new_value.tail
+    old_attrs_value = old_rest.head
+    new_attrs_value = new_rest.head
     if new_attrs_value is old_attrs_value:
         attrs = node.attrs
     else:
-        attrs = [(name, to_pylist(new_pair)[1])
-                 for (name, _), new_pair in zip(node.attrs,
-                                                to_pylist(new_attrs_value))]
-    old_children_value = old_parts[2]
-    new_children_value = new_parts[2]
+        attrs = []
+        old_cell = old_attrs_value
+        new_cell = new_attrs_value
+        for entry in node.attrs:
+            new_pair = new_cell.head
+            if new_pair is old_cell.head:
+                attrs.append(entry)
+            else:
+                attrs.append((entry[0], new_pair.tail.head))
+            old_cell = old_cell.tail
+            new_cell = new_cell.tail
+    old_children_value = old_rest.tail.head
+    new_children_value = new_rest.tail.head
     if new_children_value is old_children_value:
         children = node.children
     else:
-        children = [
-            rebuild_node(child, old_child, new_child)
-            for child, old_child, new_child in zip(
-                node.children, to_pylist(old_children_value),
-                to_pylist(new_children_value))]
+        children = []
+        old_cell = old_children_value
+        new_cell = new_children_value
+        for child in node.children:
+            new_child = new_cell.head
+            children.append(child if new_child is old_cell.head
+                            else rebuild_node(child, old_cell.head,
+                                              new_child))
+            old_cell = old_cell.tail
+            new_cell = new_cell.tail
     return SvgNode(node.kind, attrs, children)
 
 

@@ -238,6 +238,90 @@ def solve_one(rho: Mapping[Loc, float], loc: Loc, target: float,
     return solution
 
 
+def compile_solve_one(rho: Mapping[Loc, float], loc: Loc, trace: Trace, *,
+                      verify: bool = True):
+    """Specialize :func:`solve_one` for a fixed ``(ρ, ℓ, t)``: returns a
+    ``target → solution`` closure.
+
+    During a drag, a trigger solves the *same* equation once per mouse
+    sample with only the target changing; the occurrence counts, the
+    descent path through the trace and every known subtrace value are
+    functions of ``(ρ, ℓ, t)`` alone.  This hoists all of that to one
+    up-front walk, leaving per-sample work of a few arithmetic inverse
+    steps (plus the back-substitution check).  Failures that do not
+    depend on the target (wrong occurrence count, unknown locations,
+    non-invertible operators) are raised per call, verbatim, by the
+    returned closure; target-dependent ones (trig range, division by a
+    zero target, the verification itself) stay inside it.
+    """
+    steps = None
+    try:
+        count, partial = walk_plus(rho, loc, trace)
+        if count == 0:
+            raise SolverFailure(
+                f"{loc.display()} does not occur in the trace")
+    except SolverFailure:
+        try:
+            steps = _compile_single_occurrence(rho, loc, trace)
+        except SolverFailure as failure:
+            def failing(target: float, _failure=failure) -> float:
+                raise _failure
+            return failing
+    check = dict(rho) if verify else None
+
+    def solve(target: float) -> float:
+        if steps is None:
+            solution = (target - partial) / count
+        else:
+            solution = target
+            for invert, op, known in steps:
+                solution = invert(op, solution) if known is None \
+                    else invert(op, known, solution)
+        if check is not None:
+            check[loc] = solution
+            try:
+                value = eval_trace(trace, check)
+            except LittleRuntimeError as exc:
+                raise SolverFailure(
+                    f"solution does not evaluate: {exc}") from exc
+            if not math.isclose(value, target,
+                                rel_tol=_REL_TOL, abs_tol=_ABS_TOL):
+                raise SolverFailure(
+                    f"solution check failed: got {value}, wanted {target}")
+        return solution
+
+    return solve
+
+
+def _compile_single_occurrence(rho: Mapping[Loc, float], loc: Loc,
+                               trace: Trace):
+    """The descent of :func:`_solve_b` as data: a list of
+    ``(inverse, op, known)`` steps to apply to the target in order."""
+    if occurrences(trace, loc) != 1:
+        raise SolverFailure(f"{loc.display()} must occur exactly once")
+    steps = []
+    node = trace
+    while not isinstance(node, Loc):
+        if len(node.args) == 1:
+            steps.append((_invert_unary, node.op, None))
+            node = node.args[0]
+        elif len(node.args) == 2:
+            left, right = node.args
+            if occurrences(left, loc) == 1:
+                steps.append((_invert_binary_right, node.op,
+                              _eval_known(rho, right)))
+                node = left
+            else:
+                steps.append((_invert_binary_left, node.op,
+                              _eval_known(rho, left)))
+                node = right
+        else:
+            raise SolverFailure(f"operator {node.op!r} has no inverse")
+    if node != loc:
+        raise SolverFailure("descended to the wrong location")
+    return steps
+
+
 def solve_linear(rho: Mapping[Loc, float], loc: Loc, target: float,
                  trace: Trace) -> float:
     """Solve equations whose trace is *linear* in ℓ, regardless of

@@ -16,7 +16,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..lang.ast import Loc
 from ..lang.errors import SolverFailure
 from ..svg.canvas import Canvas, Shape
-from ..synthesis.solver import solve_one
+from ..synthesis.solver import compile_solve_one
 from ..trace.trace import Trace
 from .assignment import Assignment, CanvasAssignments
 from .zones import Feature, X_AXIS
@@ -76,6 +76,10 @@ class MouseTrigger:
                 continue
             number = shape.get_num(feature.ref)
             self._features.append((feature, loc, number.value, number.trace))
+        # Per-feature solver closures, specialized on first firing: the
+        # equation's structure and ρ are fixed for the trigger's
+        # lifetime, only the target moves with the mouse.
+        self._solvers = None
 
     def rebind(self, shape: Shape, rho: Mapping[Loc, float]
                ) -> "MouseTrigger":
@@ -91,16 +95,23 @@ class MouseTrigger:
         trigger.assignment = self.assignment
         trigger.rho = rho
         trigger._features = self._features
+        trigger._solvers = None         # closures are specialized per ρ
         return trigger
 
     def __call__(self, dx: float, dy: float) -> TriggerResult:
+        solvers = self._solvers
+        if solvers is None:
+            solvers = self._solvers = [
+                compile_solve_one(self.rho, loc, trace)
+                for _, loc, _, trace in self._features]
         bindings: Dict[Loc, float] = {}
         outcomes: List[FeatureOutcome] = []
-        for feature, loc, value, trace in self._features:
+        for (feature, loc, value, trace), solver in zip(self._features,
+                                                        solvers):
             delta = dx if feature.axis == X_AXIS else dy
             target = value + feature.sign * delta
             try:
-                solution = solve_one(self.rho, loc, target, trace)
+                solution = solver(target)
             except SolverFailure as failure:
                 outcomes.append(FeatureOutcome(feature, loc, target, None,
                                                str(failure)))

@@ -27,6 +27,7 @@ DOCTEST_MODULES = [
     "repro.core.pipeline",
     "repro.core.run",
     "repro.core.sliders",
+    "repro.lang.compile",
     "repro.lang.diff",
     "repro.lang.program",
     "repro.serve",

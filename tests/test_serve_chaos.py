@@ -194,6 +194,36 @@ class TestQuarantineHealing:
         assert app.manager.poisoned_count() == 0
 
 
+class TestSpecializeFaults:
+    """Failed trace-compiler specialization (:mod:`repro.lang.compile`)
+    is pure degradation: every response stays byte-identical to an
+    unfaulted server, the failure is counted in ``/stats``, and no
+    session is quarantined."""
+
+    def test_specialize_fault_degrades_to_interpreter_identically(self):
+        from repro.lang.compile import force_compiled
+
+        source = TEMPLATE.format(v=10)
+        ops = gesture_ops(4)
+        with force_compiled(True):
+            plan = FaultPlan({"compile.specialize": 1.0}, seed=SEED)
+            faulted_app = ServeApp(faults=plan)
+            _, faulted = drive_script(faulted_app, source, ops)
+            clean_app = ServeApp()
+            _, clean = drive_script(clean_app, source, ops)
+        # never a wrong/missing answer (loc idents canonicalized: the
+        # global counter differs between the two apps)
+        assert canonicalize(faulted) == canonicalize(clean)
+        stats = faulted_app.handle({"cmd": "stats"})["stats"]
+        assert stats["faults"]["compile.specialize"] >= 1
+        assert stats["specialize_failures"] >= 1
+        assert stats["specializations"] == 0     # pinned to the interpreter
+        assert faulted_app.manager.poisoned_count() == 0
+        clean_stats = clean_app.handle({"cmd": "stats"})["stats"]
+        assert clean_stats["specializations"] >= 1
+        assert clean_stats["specialize_failures"] == 0
+
+
 # ---------------------------------------------------------------------------
 # 3. Snapshot failure containment (eviction + last-good refresh)
 # ---------------------------------------------------------------------------
