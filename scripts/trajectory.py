@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Perf-trajectory tracker over BENCH_*.json artifacts.
+
+Every benchmark session writes machine-readable ``BENCH_<table>.json``
+files (see ``benchmarks/conftest.py``).  This script loads those
+artifacts from two or more run directories -- oldest first, newest
+last -- and prints a per-table, per-example trend report:
+
+    python scripts/trajectory.py benchmarks/baselines/run-001 \\
+        benchmarks/baselines/run-002 benchmarks/out
+
+Two modes:
+
+* **Timing mode** (default): every throughput-like metric (fields
+  matching ``*_sps``, ``*_eps``, ``*_rps``, ``*throughput*``,
+  ``*speedup*``, ``*_rate``) is tracked across runs.  The run FAILS
+  (exit 1) when the newest value drops below ``--floor`` (default
+  0.6) times the immediately preceding run -- a >40% regression.
+  Timings are machine-dependent, so this mode is for trend reports on
+  a fixed box, not CI.
+
+* **Correctness mode** (``--correctness``): magnitudes are ignored;
+  instead the newest run must (a) contain every table the oldest
+  (baseline) run contains, (b) have rows wherever the baseline has
+  rows, and (c) report every ``*identical*`` field as true.  This is
+  stable across machines and is what CI runs.
+
+``--json`` dumps the full trend structure as JSON instead of text.
+
+The script is stdlib-only and never imports the repro package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+METRIC_PATTERN = re.compile(
+    r"(_sps$|_eps$|_rps$|throughput|speedup|_rate$|avg_rate)", re.IGNORECASE
+)
+IDENTITY_PATTERN = re.compile(r"identical", re.IGNORECASE)
+
+
+def load_run(directory: Path) -> Dict[str, dict]:
+    """Load every BENCH_*.json in *directory*, keyed by table name."""
+    tables: Dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        name = data.get("name") or path.stem[len("BENCH_"):]
+        tables[name] = data
+    return tables
+
+
+def normalize_rows(rows: object) -> List[dict]:
+    """Return the dict rows of a table.
+
+    ``rows`` is usually a list of dicts, but some tables (perf_table)
+    key rows by name instead; non-dict rows are dropped.
+    """
+    if isinstance(rows, dict):
+        rows = list(rows.values())
+    if not isinstance(rows, list):
+        return []
+    return [row for row in rows if isinstance(row, dict)]
+
+
+def row_label(row: dict, index: int) -> str:
+    name = row.get("name")
+    return str(name) if name is not None else f"row[{index}]"
+
+
+def extract_metrics(table: dict) -> Dict[Tuple[str, str], float]:
+    """Map (row label, field) -> value for every throughput-like field."""
+    metrics: Dict[Tuple[str, str], float] = {}
+    for index, row in enumerate(normalize_rows(table.get("rows"))):
+        label = row_label(row, index)
+        for field, value in row.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            if METRIC_PATTERN.search(field):
+                metrics[(label, field)] = float(value)
+    return metrics
+
+
+def build_trends(runs: List[Dict[str, dict]], run_names: List[str]) -> dict:
+    """Collect per-table, per-metric series across all runs."""
+    table_names: List[str] = []
+    for run in runs:
+        for name in run:
+            if name not in table_names:
+                table_names.append(name)
+
+    trends: dict = {"runs": run_names, "tables": {}}
+    for table_name in table_names:
+        per_run_metrics = [
+            extract_metrics(run[table_name]) if table_name in run else {}
+            for run in runs
+        ]
+        keys: List[Tuple[str, str]] = []
+        for metrics in per_run_metrics:
+            for key in metrics:
+                if key not in keys:
+                    keys.append(key)
+        series = {}
+        for key in keys:
+            values: List[Optional[float]] = [m.get(key) for m in per_run_metrics]
+            series["{}.{}".format(*key)] = values
+        trends["tables"][table_name] = {
+            "present": [table_name in run for run in runs],
+            "row_counts": [
+                len(normalize_rows(run[table_name].get("rows")))
+                if table_name in run else 0
+                for run in runs
+            ],
+            "metrics": series,
+        }
+    return trends
+
+
+def timing_failures(trends: dict, floor: float) -> List[str]:
+    """Metrics whose newest value fell below floor x the previous run."""
+    failures: List[str] = []
+    for table_name, table in sorted(trends["tables"].items()):
+        for metric, values in sorted(table["metrics"].items()):
+            tail = [v for v in values if v is not None]
+            if len(tail) < 2:
+                continue
+            previous, latest = tail[-2], tail[-1]
+            if previous > 0 and latest < floor * previous:
+                failures.append(
+                    f"{table_name}.{metric}: {latest:.1f} < "
+                    f"{floor:g} x {previous:.1f}"
+                )
+    return failures
+
+
+def correctness_failures(
+    baseline: Dict[str, dict], latest: Dict[str, dict]
+) -> List[str]:
+    """Structural checks that hold on any machine."""
+    failures: List[str] = []
+    for table_name, table in sorted(baseline.items()):
+        if table_name not in latest:
+            failures.append(f"{table_name}: table missing from latest run")
+            continue
+        baseline_rows = normalize_rows(table.get("rows"))
+        latest_rows = normalize_rows(latest[table_name].get("rows"))
+        if baseline_rows and not latest_rows:
+            failures.append(
+                f"{table_name}: baseline has {len(baseline_rows)} rows, "
+                "latest has none"
+            )
+    for table_name, table in sorted(latest.items()):
+        for index, row in enumerate(normalize_rows(table.get("rows"))):
+            for field, value in row.items():
+                if IDENTITY_PATTERN.search(field) and value is not True:
+                    failures.append(
+                        f"{table_name}.{row_label(row, index)}.{field}: "
+                        f"expected true, got {value!r}"
+                    )
+    return failures
+
+
+def format_report(trends: dict, floor: float) -> str:
+    lines: List[str] = []
+    lines.append("Perf trajectory over runs: " + " -> ".join(trends["runs"]))
+    for table_name, table in sorted(trends["tables"].items()):
+        presence = ", ".join(
+            f"{name}={count}" for name, count
+            in zip(trends["runs"], table["row_counts"])
+        )
+        lines.append(f"\n{table_name}  (rows: {presence})")
+        if not table["metrics"]:
+            lines.append("  no throughput-like metrics tracked")
+            continue
+        for metric, values in sorted(table["metrics"].items()):
+            rendered = " -> ".join(
+                "-" if v is None else f"{v:.1f}" for v in values
+            )
+            tail = [v for v in values if v is not None]
+            if len(tail) >= 2 and tail[-2] > 0:
+                ratio = tail[-1] / tail[-2]
+                marker = "  REGRESSION" if ratio < floor else ""
+                rendered += f"  (x{ratio:.2f}{marker})"
+            lines.append(f"  {metric}: {rendered}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Trend report over BENCH_*.json artifacts from "
+        "successive benchmark runs (oldest directory first)."
+    )
+    parser.add_argument(
+        "runs", nargs="+", metavar="RUN_DIR",
+        help="directories holding BENCH_*.json, oldest first",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=0.6,
+        help="fail when a metric drops below FLOOR x the previous run "
+        "(timing mode, default 0.6)",
+    )
+    parser.add_argument(
+        "--correctness", action="store_true",
+        help="machine-independent checks only: table presence, row "
+        "presence, and *identical* fields true in the newest run",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the trend structure as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    directories = [Path(run) for run in args.runs]
+    missing = [str(d) for d in directories if not d.is_dir()]
+    if missing:
+        print(f"trajectory: no such run directory: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    runs = [load_run(d) for d in directories]
+    empty = [str(d) for d, run in zip(directories, runs) if not run]
+    if empty:
+        print(f"trajectory: no BENCH_*.json artifacts in: {', '.join(empty)}",
+              file=sys.stderr)
+        return 2
+    if len(runs) < 2:
+        print("trajectory: need at least two run directories to compare",
+              file=sys.stderr)
+        return 2
+
+    run_names = [d.name or str(d) for d in directories]
+    trends = build_trends(runs, run_names)
+
+    if args.correctness:
+        failures = correctness_failures(runs[0], runs[-1])
+    else:
+        failures = timing_failures(trends, args.floor)
+
+    if args.as_json:
+        print(json.dumps({"trends": trends, "failures": failures}, indent=2))
+    else:
+        print(format_report(trends, args.floor))
+        mode = "correctness" if args.correctness else "timing"
+        if failures:
+            print(f"\n{len(failures)} {mode} failure(s):")
+            for failure in failures:
+                print(f"  FAIL {failure}")
+        else:
+            print(f"\nno {mode} regressions "
+                  f"({len(trends['tables'])} tables tracked)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

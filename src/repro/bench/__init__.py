@@ -20,8 +20,8 @@ from .perf import (OperationTimes, PerfRow, measure_corpus,
                    measure_example, measure_rows, measure_solve)
 from .report import (PAPER_EQUATION_TOTALS, PAPER_PERF_MS, PAPER_ZONE_TOTALS,
                      format_drag_latency_table, format_edit_latency_table,
-                     format_equation_table, format_loc_rows,
-                     format_perf_rows, format_perf_table,
+                     format_equation_table, format_ingest_table,
+                     format_loc_rows, format_perf_rows, format_perf_table,
                      format_release_latency_table,
                      format_serve_scaling_table,
                      format_serve_throughput_table, format_zone_rows,
@@ -56,7 +56,8 @@ __all__ = [
     "OperationTimes", "PerfRow", "measure_corpus", "measure_example",
     "measure_rows", "measure_solve",
     "PAPER_EQUATION_TOTALS", "PAPER_PERF_MS", "PAPER_ZONE_TOTALS",
-    "format_equation_table", "format_loc_rows", "format_perf_rows",
+    "format_equation_table", "format_ingest_table", "format_loc_rows",
+    "format_perf_rows",
     "format_perf_table", "format_zone_rows", "format_zone_table",
     "table_records",
     "ZoneStatsRow", "ZoneTotals", "corpus_zone_stats", "zone_stats",

@@ -272,6 +272,33 @@ def format_serve_scaling_table(rows) -> str:
     return "\n".join(lines)
 
 
+def format_ingest_table(report) -> str:
+    """Summary table for a bulk SVG ingestion run
+    (:class:`repro.svg.ingest.IngestReport`): per-document verification
+    outcomes plus per-failure-class quarantine counters."""
+    results = report.results
+    lines = [
+        "SVG ingestion: emitted programs verified "
+        "parse -> run -> render -> zones",
+        f"{'Document':32s}{'status':>12s}{'shapes':>8s}{'zones':>7s}"
+        f"{'constants':>11s}",
+    ]
+    for result in results:
+        if result.ok:
+            lines.append(f"{result.name:32s}{'ok':>12s}"
+                         f"{result.shapes:>8d}{result.zones:>7d}"
+                         f"{result.constants:>11d}")
+        else:
+            lines.append(f"{result.name:32s}"
+                         f"{'quarantined':>12s}  [{result.failure}]")
+    ok = len(report.ok)
+    lines.append(f"{'Totals':32s}{ok:>3d} ok, {len(report.failed)} "
+                 f"quarantined of {len(results)}")
+    for failure, count in report.counters().items():
+        lines.append(f"  quarantined[{failure}]: {count}")
+    return "\n".join(lines)
+
+
 def format_perf_rows(rows) -> str:
     """Appendix G per-example timing table (median ms per operation)."""
     lines = [

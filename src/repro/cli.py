@@ -7,7 +7,11 @@ Commands:
   diagnostic (the editor-integration hook: cheap enough for on-save);
 * ``serve [--port N]`` — run the multi-session sync service over HTTP;
 * ``examples [--render DIR]`` — list or render the example corpus;
-* ``import-svg FILE.svg [-o OUT.little]`` — convert SVG to little;
+* ``import FILE.svg [-o OUT.little]`` / ``import --bulk DIR`` — convert
+  SVG to little and round-trip verify the result through the shared run
+  path (parse + run + render + draggable zones); failures quarantine
+  with one-line diagnostics and per-class counters;
+* ``import-svg FILE.svg [-o OUT.little]`` — raw, unverified conversion;
 * ``tables [--out DIR]`` — regenerate the paper's evaluation tables;
 * ``study`` — print the Figure 9 user-study analysis.
 """
@@ -150,6 +154,61 @@ def _cmd_import_svg(args) -> int:
     return 0
 
 
+def _cmd_import(args) -> int:
+    from .svg.ingest import ingest_file
+
+    budget = _eval_budget(args.eval_budget)
+    if args.bulk:
+        return _import_bulk(args, budget)
+    result = ingest_file(args.file, budget=budget)
+    if not result.ok:
+        # Quarantine: one line, nonzero exit, and never a partial file.
+        print(f"repro import: {result.diagnostic()}", file=sys.stderr)
+        return 1
+    if args.output:
+        pathlib.Path(args.output).write_text(result.source,
+                                             encoding="utf-8")
+        print(f"wrote {args.output} ({result.shapes} shapes, "
+              f"{result.zones} zones, {result.constants} constants)")
+    else:
+        print(result.source, end="")
+        print(result.diagnostic(), file=sys.stderr)
+    return 0
+
+
+def _import_bulk(args, budget) -> int:
+    from .bench.report import format_ingest_table
+    from .svg.ingest import ingest_directory
+
+    directory = pathlib.Path(args.file)
+    if not directory.is_dir():
+        print(f"repro import: {directory} is not a directory",
+              file=sys.stderr)
+        return 1
+    report = ingest_directory(directory, budget=budget)
+    if not report.results:
+        print(f"repro import: no .svg files in {directory}",
+              file=sys.stderr)
+        return 1
+    out_dir = pathlib.Path(args.out_dir) if args.out_dir else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for result in report.results:
+        print(result.diagnostic())
+        if result.ok and out_dir:
+            # Only verified programs reach disk — a quarantined document
+            # never leaves a partial file behind.
+            name = pathlib.Path(result.name).stem + ".little"
+            (out_dir / name).write_text(result.source, encoding="utf-8")
+    print()
+    print(format_ingest_table(report))
+    if not report.ok:
+        return 1                    # nothing ingested at all
+    if args.strict and report.failed:
+        return 1
+    return 0
+
+
 def _cmd_tables(args) -> int:
     from .bench import (corpus_loc_stats, corpus_zone_stats,
                         equation_totals, format_equation_table,
@@ -269,8 +328,39 @@ def build_parser() -> argparse.ArgumentParser:
     examples_parser.add_argument("--render", metavar="DIR")
     examples_parser.set_defaults(handler=_cmd_examples)
 
+    ingest_parser = commands.add_parser(
+        "import",
+        help="convert SVG to little and round-trip verify the result "
+             "(parse + run + render + draggable zones); failures are "
+             "quarantined with a one-line diagnostic")
+    ingest_parser.add_argument("file",
+                               help="an .svg file, or a directory with "
+                                    "--bulk")
+    ingest_parser.add_argument("-o", "--output",
+                               help="write the verified program here "
+                                    "(single-file mode; nothing is "
+                                    "written on quarantine)")
+    ingest_parser.add_argument("--bulk", action="store_true",
+                               help="ingest every *.svg directly under "
+                                    "FILE (a directory): per-document "
+                                    "one-line statuses, a summary table "
+                                    "and per-failure-class counters")
+    ingest_parser.add_argument("--out-dir", metavar="DIR", default=None,
+                               help="with --bulk, write each verified "
+                                    "program as DIR/<name>.little")
+    ingest_parser.add_argument("--strict", action="store_true",
+                               help="with --bulk, exit nonzero if any "
+                                    "document was quarantined (CI mode)")
+    ingest_parser.add_argument("--eval-budget", type=int, default=0,
+                               metavar="STEPS",
+                               help="cap verification evaluation at STEPS "
+                                    "interpreter steps (0 = unlimited)")
+    ingest_parser.set_defaults(handler=_cmd_import)
+
     import_parser = commands.add_parser(
-        "import-svg", help="convert an SVG file to little source")
+        "import-svg", help="convert an SVG file to little source "
+                           "without verification (see 'import' for the "
+                           "verified pipeline)")
     import_parser.add_argument("file")
     import_parser.add_argument("-o", "--output")
     import_parser.set_defaults(handler=_cmd_import_svg)

@@ -47,6 +47,25 @@ class SvgError(LittleError):
     """The program's output value is not a well-formed SVG node."""
 
 
+class SvgImportError(SvgError):
+    """An SVG document cannot be imported as a little program.
+
+    Raised by :mod:`repro.svg.importer` with a one-line message and a
+    short machine-readable ``reason`` — the failure class the bulk
+    ingestion pipeline (:mod:`repro.svg.ingest`) counts quarantined
+    documents under: ``"xml"`` (not well-formed), ``"not-svg"`` (wrong
+    root element), ``"string"`` (a quote character the little lexer
+    cannot represent), ``"number"`` (a non-finite numeric attribute),
+    ``"path"`` (malformed path data), ``"points"`` (malformed points
+    list), ``"transform"`` (an unsupported transform function),
+    ``"root"`` (a malformed viewBox) or ``"convert"`` (anything else).
+    """
+
+    def __init__(self, message: str, *, reason: str = "convert"):
+        self.reason = reason
+        super().__init__(message)
+
+
 class SolverFailure(LittleError):
     """The value-trace equation solver could not compute a solution.
 

@@ -37,6 +37,8 @@ DOCTEST_MODULES = [
     "repro.serve.persist",
     "repro.serve.protocol",
     "repro.serve.shard",
+    "repro.svg.importer",
+    "repro.svg.ingest",
 ]
 
 

@@ -1,15 +1,19 @@
 """Tests for the SVG → little importer (Appendix D future work)."""
 
+import math
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.editor import LiveSession
 from repro.examples import example_names, load_example
 from repro.lang import parse_program
-from repro.lang.errors import SvgError
+from repro.lang.errors import SvgError, SvgImportError
+from repro.lang.values import to_pylist
 from repro.svg import Canvas, render_canvas
 from repro.svg.importer import (import_svg_file, parse_path_data,
-                                parse_points, parse_transform,
-                                svg_to_little)
+                                parse_points, parse_style,
+                                parse_transform, svg_to_little)
 
 ELM_LOGO_SVG = """
 <svg xmlns="http://www.w3.org/2000/svg" width="324" height="324">
@@ -145,3 +149,264 @@ class TestImportFile(object):
         path.write_text(ELM_LOGO_SVG, encoding="utf-8")
         source = import_svg_file(path)
         assert parse_program(source).evaluate() is not None
+
+
+def import_canvas(svg_text):
+    source = svg_to_little(svg_text)
+    return Canvas.from_value(parse_program(source).evaluate())
+
+
+class TestStringEmissionRegression:
+    """Bug 1: string attributes were emitted unescaped, so a value with
+    an apostrophe (``fill="url('#g')"``) produced source the little
+    lexer could not parse back."""
+
+    def test_quoted_css_url_is_normalized(self):
+        canvas = import_canvas(
+            '<svg><rect x="1" y="2" width="3" height="4"'
+            ' fill="url(\'#g\')"/></svg>')
+        assert canvas[0].node.attr("fill").value == "url(#g)"
+
+    def test_irreparable_quote_is_quarantined(self):
+        with pytest.raises(SvgImportError) as excinfo:
+            svg_to_little(
+                '<svg><rect x="1" y="2" width="3" height="4"'
+                ' fill="it\'s-red"/></svg>')
+        assert excinfo.value.reason == "string"
+
+    def test_quote_in_text_content_is_quarantined(self):
+        with pytest.raises(SvgImportError) as excinfo:
+            svg_to_little("<svg><text x='1' y='2'>it's text</text></svg>")
+        assert excinfo.value.reason == "string"
+
+
+class TestNumberEmissionRegression:
+    """Bug 2: ``_format`` crashed with OverflowError/ValueError on
+    non-finite numbers and rewrote ``-0.0`` to ``0`` (losing the sign
+    that drag deltas against a zero baseline rely on)."""
+
+    def test_infinite_attribute_raises_svg_error(self):
+        with pytest.raises(SvgImportError) as excinfo:
+            svg_to_little('<svg><circle cx="inf" cy="1" r="2"/></svg>')
+        assert excinfo.value.reason == "number"
+
+    def test_nan_attribute_raises_svg_error(self):
+        with pytest.raises(SvgImportError) as excinfo:
+            svg_to_little('<svg><circle cx="1" cy="NaN" r="2"/></svg>')
+        assert excinfo.value.reason == "number"
+
+    def test_nan_in_path_raises_svg_error(self):
+        with pytest.raises(SvgError):
+            svg_to_little('<svg><path d="M nan 4"/></svg>')
+
+    def test_tiny_number_emitted_without_exponent(self):
+        # repr(2.8e-14) is scientific notation, which the little lexer
+        # reads as a number followed by an unbound variable `e`; the
+        # emitter must expand to a positional decimal.
+        source = svg_to_little(
+            '<svg><circle cx="2.855938629885282e-14" cy="5" r="1"/></svg>')
+        canvas = Canvas.from_value(parse_program(source).evaluate())
+        assert canvas[0].simple_num("cx").value == 2.855938629885282e-14
+
+    def test_negative_zero_survives_the_round_trip(self):
+        source = svg_to_little(
+            '<svg><rect x="-0.0" y="1" width="3" height="4"/></svg>')
+        assert "-0.0" in source
+        canvas = Canvas.from_value(parse_program(source).evaluate())
+        x = canvas[0].simple_num("x").value
+        assert x == 0.0 and math.copysign(1.0, x) == -1.0
+
+
+class TestArcFlagRegression:
+    """Bug 3: SVG allows arc flags to be written without separators
+    (``A5 5 0 011 10 10``); the scanner used to read ``011`` as the
+    single number 11.0, silently corrupting the arc."""
+
+    def test_concatenated_flags_split_into_digits(self):
+        assert parse_path_data("M0 0 A5 5 0 011 10") == \
+            ["M", 0.0, 0.0, "A", 5.0, 5.0, 0.0, 0.0, 1.0, 1.0, 10.0]
+
+    def test_flags_glued_to_coordinate(self):
+        # 0, 1 are flags; "1-3" begins the x coordinate.
+        assert parse_path_data("a1 1 0 01-3 0") == \
+            ["a", 1.0, 1.0, 0.0, 0.0, 1.0, -3.0, 0.0]
+
+    def test_misaligned_arc_is_rejected_not_misread(self):
+        # Read with flag-splitting this yields 8 parameters for a
+        # 7-parameter command: a clean error, never a silent misparse.
+        with pytest.raises(SvgImportError) as excinfo:
+            parse_path_data("M0 0 A5 5 0 011 10 10")
+        assert excinfo.value.reason == "path"
+
+    def test_non_binary_flag_rejected(self):
+        with pytest.raises(SvgError):
+            parse_path_data("M0 0 A5 5 0 5 1 10 10")
+
+    def test_arc_shorthand_imports_and_renders(self):
+        canvas = import_canvas(
+            '<svg><path d="M20 6 A14 14 0 0134 20" fill="none"'
+            ' stroke="#000"/></svg>')
+        assert canvas[0].kind == "path"
+
+
+class TestGroupTransformRegression:
+    """Bug 4: ``_import_element`` recursed into ``<g>`` but dropped its
+    ``transform``, so grouped shapes imported at the wrong place."""
+
+    def test_group_transform_reaches_children(self):
+        canvas = import_canvas(
+            '<svg><g transform="translate(10 20)">'
+            '<rect x="1" y="2" width="3" height="4"/></g></svg>')
+        transform = canvas[0].node.attr("transform")
+        assert transform is not None
+        first = to_pylist(transform)[0]
+        assert [v.value for v in to_pylist(first)] == \
+            ["translate", 10.0, 20.0]
+
+    def test_nested_transforms_compose_in_document_order(self):
+        canvas = import_canvas(
+            '<svg><g transform="translate(10 20)">'
+            '<g transform="scale(2)">'
+            '<circle cx="1" cy="2" r="3" transform="rotate(45 1 2)"/>'
+            '</g></g></svg>')
+        transform = canvas[0].node.attr("transform")
+        commands = [to_pylist(row)[0].value for row in to_pylist(transform)]
+        assert commands == ["translate", "scale", "rotate"]
+
+    def test_untransformed_groups_add_no_attribute(self):
+        canvas = import_canvas(
+            '<svg><g><rect x="1" y="2" width="3" height="4"/></g></svg>')
+        assert canvas[0].node.attr("transform") is None
+
+    def test_unsupported_transform_is_quarantined(self):
+        with pytest.raises(SvgImportError) as excinfo:
+            svg_to_little(
+                '<svg><g transform="skewX(20)">'
+                '<rect x="1" y="2" width="3" height="4"/></g></svg>')
+        assert excinfo.value.reason == "transform"
+
+
+class TestStyleAndText:
+    def test_style_attribute_promotes_fill(self):
+        canvas = import_canvas(
+            '<svg><rect x="1" y="2" width="3" height="4"'
+            ' style="fill: red; stroke: blue"/></svg>')
+        assert canvas[0].node.attr("fill").value == "red"
+        assert canvas[0].node.attr("stroke").value == "blue"
+
+    def test_style_overrides_presentation_attribute_without_duplicates(self):
+        canvas = import_canvas(
+            '<svg><rect x="1" y="2" width="3" height="4" fill="green"'
+            ' style="fill:red"/></svg>')
+        node = canvas[0].node
+        fills = [pair for pair in node.attrs if pair[0] == "fill"]
+        assert len(fills) == 1
+        assert node.attr("fill").value == "red"
+
+    def test_parse_style_residual_keeps_unknown_properties(self):
+        promoted, residual = parse_style("fill:red; cursor: pointer")
+        assert promoted == {"fill": "red"}
+        assert residual == "cursor:pointer"
+
+    def test_tspan_text_is_flattened(self):
+        canvas = import_canvas(
+            '<svg><text x="1" y="2">Total: <tspan>42</tspan>'
+            ' items</text></svg>')
+        assert canvas[0].node.attr("TEXT").value == "Total: 42 items"
+
+    def test_viewbox_preserved_on_root(self):
+        source = svg_to_little(
+            '<svg viewBox="0 0 24 24"><circle cx="12" cy="12" r="5"/></svg>')
+        assert "'viewBox' '0 0 24 24'" in source
+        assert parse_program(source).evaluate() is not None
+
+
+# --------------------------------------------------------------------------
+# Property suite: generated SVGs either import cleanly or raise SvgError
+# --------------------------------------------------------------------------
+
+finite_coord = st.floats(min_value=-500, max_value=500,
+                         allow_nan=False, allow_infinity=False)
+wild_coord = st.one_of(
+    finite_coord,
+    st.just(float("inf")),
+    st.just(float("nan")),
+    st.just(-0.0),
+)
+fill_values = st.sampled_from([
+    "red", "#7FD13B", "none", "url(#grad)", "url('#grad')",
+    "rgb(1,2,3)", "it's-broken",
+])
+transform_values = st.sampled_from([
+    "", "translate(5 6)", "rotate(45 1 2)", "scale(2)",
+    "matrix(1 0 0 1 3 4)", "skewX(10)",
+])
+
+
+def fmt(value):
+    return repr(value) if value == value else "NaN"
+
+
+@st.composite
+def svg_documents(draw):
+    parts = []
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        kind = draw(st.sampled_from(["rect", "circle", "line"]))
+        fill = draw(fill_values)
+        if kind == "rect":
+            x, y = draw(wild_coord), draw(finite_coord)
+            shape = (f'<rect x="{fmt(x)}" y="{fmt(y)}" width="10"'
+                     f' height="10" fill="{fill}"/>')
+        elif kind == "circle":
+            cx, r = draw(finite_coord), draw(wild_coord)
+            shape = f'<circle cx="{fmt(cx)}" cy="5" r="{fmt(r)}" fill="{fill}"/>'
+        else:
+            x2 = draw(wild_coord)
+            shape = (f'<line x1="0" y1="0" x2="{fmt(x2)}" y2="9"'
+                     f' stroke="{fill}"/>')
+        transform = draw(transform_values)
+        if transform:
+            shape = f'<g transform="{transform}">{shape}</g>'
+        parts.append(shape)
+    return "<svg>" + "".join(parts) + "</svg>"
+
+
+class TestImportProperties:
+    @given(svg_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_import_round_trips_or_raises_svg_error(self, document):
+        """Every generated document either becomes a little program
+        that parses, evaluates, and renders, or raises SvgError —
+        never a bare ValueError/OverflowError and never an emitted
+        program that fails to parse."""
+        try:
+            source = svg_to_little(document)
+        except SvgError:
+            return
+        canvas = Canvas.from_value(parse_program(source).evaluate())
+        assert len(list(canvas)) >= 1
+        assert render_canvas(canvas.root)
+
+    @given(svg_documents())
+    @settings(max_examples=25, deadline=None)
+    def test_import_is_byte_stable(self, document):
+        try:
+            first = svg_to_little(document)
+        except SvgError:
+            with pytest.raises(SvgError):
+                svg_to_little(document)
+            return
+        assert svg_to_little(document) == first
+
+    @given(st.text(alphabet="MLHVCSQTAZmlz0123456789 .,-+e", max_size=24))
+    @settings(max_examples=60, deadline=None)
+    def test_path_scanner_total(self, data):
+        """parse_path_data is total: it returns floats/commands or
+        raises SvgError, never anything else."""
+        try:
+            tokens = parse_path_data(data)
+        except SvgError:
+            return
+        assert all(isinstance(t, (str, float)) for t in tokens)
+        assert all(math.isfinite(t) for t in tokens
+                   if isinstance(t, float))

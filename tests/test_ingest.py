@@ -1,0 +1,155 @@
+"""Tests for bulk SVG ingestion (`repro import`).
+
+Every document in tests/svg_corpus must convert AND round-trip verify
+through the one shared run path; every document in
+tests/svg_corpus/quarantine must fail with its intended one-line
+classified diagnostic — never a traceback, never a partial file.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import format_ingest_table
+from repro.cli import main
+from repro.svg.ingest import (FAILURE_CLASSES, IngestReport, ingest_directory,
+                              ingest_file, ingest_text)
+
+CORPUS = Path(__file__).parent / "svg_corpus"
+QUARANTINE = CORPUS / "quarantine"
+
+GOOD_FILES = sorted(CORPUS.glob("*.svg"))
+QUARANTINE_FILES = sorted(QUARANTINE.glob("*.svg"))
+
+EXPECTED_QUARANTINE_CLASSES = {
+    "apostrophe_string.svg": "string",
+    "bad_arc_flag.svg": "path",
+    "bad_viewbox.svg": "root",
+    "broken_xml.svg": "xml",
+    "empty_document.svg": "no-shapes",
+    "infinite_coordinate.svg": "number",
+    "nan_radius.svg": "number",
+    "not_svg.svg": "not-svg",
+    "odd_points.svg": "points",
+    "skew_transform.svg": "transform",
+    "truncated_path.svg": "path",
+}
+
+
+class TestCorpus:
+    def test_corpus_is_large_enough(self):
+        assert len(GOOD_FILES) >= 15
+
+    @pytest.mark.parametrize(
+        "path", GOOD_FILES, ids=[p.name for p in GOOD_FILES])
+    def test_every_corpus_document_verifies(self, path):
+        result = ingest_file(path)
+        assert result.ok, result.diagnostic()
+        assert result.shapes >= 1
+        assert result.zones >= 1
+        assert result.source is not None
+
+    @pytest.mark.parametrize(
+        "path", QUARANTINE_FILES, ids=[p.name for p in QUARANTINE_FILES])
+    def test_every_quarantine_document_is_classified(self, path):
+        result = ingest_file(path)
+        assert not result.ok
+        assert result.failure == EXPECTED_QUARANTINE_CLASSES[path.name]
+        assert result.failure in FAILURE_CLASSES
+        assert result.source is None
+        diagnostic = result.diagnostic()
+        assert diagnostic.startswith(f"{path.name}: {result.failure}: ")
+        assert "\n" not in diagnostic
+        assert "Traceback" not in diagnostic
+
+    def test_quarantine_covers_many_failure_classes(self):
+        classes = {EXPECTED_QUARANTINE_CLASSES[p.name]
+                   for p in QUARANTINE_FILES}
+        assert len(classes) >= 8
+
+
+class TestIngestApi:
+    def test_ingest_directory_orders_and_counts(self):
+        report = ingest_directory(CORPUS)
+        assert len(report.results) == len(GOOD_FILES)
+        assert [r.name for r in report.results] == \
+            [p.name for p in GOOD_FILES]
+        assert len(report.ok) == len(GOOD_FILES)
+        assert not report.failed
+
+    def test_quarantine_counters(self):
+        report = ingest_directory(QUARANTINE)
+        counters = report.counters()
+        assert counters["number"] == 2
+        assert counters["path"] == 2
+        assert sum(counters.values()) == len(QUARANTINE_FILES)
+
+    def test_ingest_text_ok(self):
+        result = ingest_text(
+            '<svg><rect x="1" y="2" width="3" height="4"/></svg>',
+            name="doc.svg")
+        assert result.ok
+        assert result.diagnostic() == \
+            "doc.svg: ok (1 shapes, 9 zones, 4 constants)"
+
+    def test_internal_errors_never_escape(self):
+        # Whatever the input, ingest_text returns a classified result.
+        for text in ["", "<", "<svg>", "<svg><rect width='x'/></svg>"]:
+            result = ingest_text(text, name="t.svg")
+            assert not result.ok
+            assert result.failure in FAILURE_CLASSES
+
+    def test_report_table_lists_every_document(self):
+        report = ingest_directory(QUARANTINE)
+        table = format_ingest_table(report)
+        for path in QUARANTINE_FILES:
+            assert path.name in table
+        assert "quarantined[number]: 2" in table
+
+
+class TestImportCli:
+    def test_single_file_import_writes_output(self, tmp_path, capsys):
+        out = tmp_path / "logo.little"
+        code = main(["import", str(GOOD_FILES[0]), "-o", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "ok" not in capsys.readouterr().err
+
+    def test_single_file_failure_is_one_line_and_writes_nothing(
+            self, tmp_path, capsys):
+        out = tmp_path / "bad.little"
+        code = main(["import", str(QUARANTINE / "nan_radius.svg"),
+                     "-o", str(out)])
+        assert code == 1
+        assert not out.exists()
+        err = capsys.readouterr().err.strip()
+        assert err.count("\n") == 0
+        assert "number:" in err
+
+    def test_bulk_import_summary(self, capsys):
+        code = main(["import", "--bulk", str(CORPUS)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"{len(GOOD_FILES)} ok, 0 quarantined" in output
+
+    def test_bulk_import_strict_fails_on_quarantine(self, tmp_path, capsys):
+        mixed = tmp_path / "mixed"
+        mixed.mkdir()
+        (mixed / "good.svg").write_text(
+            '<svg><rect x="1" y="2" width="3" height="4"/></svg>',
+            encoding="utf-8")
+        (mixed / "bad.svg").write_text(
+            '<svg><circle cx="1" cy="2" r="NaN"/></svg>', encoding="utf-8")
+        assert main(["import", "--bulk", str(mixed)]) == 0
+        assert main(["import", "--bulk", str(mixed), "--strict"]) == 1
+
+    def test_bulk_import_out_dir_writes_only_verified(self, tmp_path):
+        out_dir = tmp_path / "programs"
+        code = main(["import", "--bulk", str(QUARANTINE),
+                     "--out-dir", str(out_dir)])
+        assert code == 1  # zero documents verified
+        assert not list(out_dir.glob("*.little"))
+
+    def test_bulk_import_missing_directory(self, capsys):
+        assert main(["import", "--bulk", "/nonexistent-dir"]) == 1
+        assert "not a directory" in capsys.readouterr().err

@@ -1,0 +1,184 @@
+"""Tests for the perf-trajectory tracker (scripts/trajectory.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).parent.parent / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+import trajectory  # noqa: E402
+
+BASELINES = Path(__file__).parent.parent / "benchmarks" / "baselines"
+
+
+def write_run(directory, tables):
+    directory.mkdir(parents=True, exist_ok=True)
+    for name, rows in tables.items():
+        payload = {"name": name, "lines": [], "rows": rows, "meta": {}}
+        with open(directory / f"BENCH_{name}.json", "w") as handle:
+            json.dump(payload, handle)
+
+
+@pytest.fixture
+def two_runs(tmp_path):
+    old = tmp_path / "run-old"
+    new = tmp_path / "run-new"
+    write_run(old, {
+        "drag_latency": [
+            {"name": "sine", "fast_sps": 1000.0, "naive_sps": 100.0,
+             "outputs_identical": True},
+            {"name": "flag", "fast_sps": 2000.0, "naive_sps": 150.0,
+             "outputs_identical": True},
+        ],
+        "zone_table": [{"name": "sine", "zone_count": 12}],
+    })
+    write_run(new, {
+        "drag_latency": [
+            {"name": "sine", "fast_sps": 1100.0, "naive_sps": 95.0,
+             "outputs_identical": True},
+            {"name": "flag", "fast_sps": 1900.0, "naive_sps": 160.0,
+             "outputs_identical": True},
+        ],
+        "zone_table": [{"name": "sine", "zone_count": 12}],
+    })
+    return old, new
+
+
+class TestTrendReport:
+    def test_two_runs_produce_a_trend_report(self, two_runs, capsys):
+        old, new = two_runs
+        code = trajectory.main([str(old), str(new)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "run-old -> run-new" in output
+        assert "sine.fast_sps: 1000.0 -> 1100.0" in output
+        assert "(x1.10)" in output
+        assert "no timing regressions" in output
+
+    def test_metrics_are_tracked_per_example(self, two_runs):
+        old, new = two_runs
+        runs = [trajectory.load_run(old), trajectory.load_run(new)]
+        trends = trajectory.build_trends(runs, ["a", "b"])
+        series = trends["tables"]["drag_latency"]["metrics"]
+        assert series["sine.fast_sps"] == [1000.0, 1100.0]
+        assert series["flag.naive_sps"] == [150.0, 160.0]
+        # zone_count is not throughput-like and must not be tracked.
+        assert trends["tables"]["zone_table"]["metrics"] == {}
+
+    def test_json_output_is_machine_readable(self, two_runs, capsys):
+        old, new = two_runs
+        assert trajectory.main([str(old), str(new), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failures"] == []
+        assert "drag_latency" in payload["trends"]["tables"]
+
+    def test_dict_keyed_rows_are_normalized(self):
+        table = {"rows": {"parse": {"name": "parse", "avg_rate": 2.0}}}
+        assert trajectory.extract_metrics(table) == {("parse", "avg_rate"): 2.0}
+
+
+class TestTimingFloor:
+    def test_regression_below_floor_fails(self, two_runs, capsys):
+        old, new = two_runs
+        degraded = new.parent / "run-degraded"
+        write_run(degraded, {
+            "drag_latency": [
+                {"name": "sine", "fast_sps": 400.0, "naive_sps": 95.0,
+                 "outputs_identical": True},
+            ],
+        })
+        code = trajectory.main([str(old), str(new), str(degraded)])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "FAIL drag_latency.sine.fast_sps" in output
+
+    def test_floor_is_configurable(self, two_runs):
+        old, new = two_runs
+        # naive_sps on sine fell 100 -> 95: fails at floor 0.99.
+        assert trajectory.main([str(old), str(new), "--floor", "0.99"]) == 1
+        assert trajectory.main([str(old), str(new), "--floor", "0.5"]) == 0
+
+
+class TestCorrectnessMode:
+    def test_clean_runs_pass(self, two_runs):
+        old, new = two_runs
+        assert trajectory.main([str(old), str(new), "--correctness"]) == 0
+
+    def test_missing_table_fails(self, two_runs, capsys):
+        old, new = two_runs
+        (new / "BENCH_zone_table.json").unlink()
+        assert trajectory.main([str(old), str(new), "--correctness"]) == 1
+        assert "zone_table: table missing" in capsys.readouterr().out
+
+    def test_emptied_rows_fail(self, two_runs, capsys):
+        old, new = two_runs
+        write_run(new, {"zone_table": []})
+        assert trajectory.main([str(old), str(new), "--correctness"]) == 1
+        assert "latest has none" in capsys.readouterr().out
+
+    def test_false_identity_flag_fails(self, two_runs, capsys):
+        old, new = two_runs
+        write_run(new, {
+            "drag_latency": [
+                {"name": "sine", "fast_sps": 1100.0,
+                 "outputs_identical": False},
+            ],
+        })
+        assert trajectory.main([str(old), str(new), "--correctness"]) == 1
+        output = capsys.readouterr().out
+        assert "outputs_identical: expected true" in output
+
+    def test_timing_drop_passes_correctness(self, two_runs):
+        old, new = two_runs
+        write_run(new, {
+            "drag_latency": [
+                {"name": "sine", "fast_sps": 1.0, "naive_sps": 1.0,
+                 "outputs_identical": True}],
+            "zone_table": [{"name": "sine", "zone_count": 12}],
+        })
+        assert trajectory.main([str(old), str(new), "--correctness"]) == 0
+
+
+class TestCliErrors:
+    def test_missing_directory(self, tmp_path, capsys):
+        assert trajectory.main([str(tmp_path), "/nonexistent-run"]) == 2
+        assert "no such run directory" in capsys.readouterr().err
+
+    def test_empty_directory(self, two_runs, tmp_path, capsys):
+        old, _ = two_runs
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert trajectory.main([str(old), str(empty)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_single_run_is_rejected(self, two_runs, capsys):
+        old, _ = two_runs
+        assert trajectory.main([str(old)]) == 2
+        assert "at least two" in capsys.readouterr().err
+
+
+class TestCommittedBaselines:
+    """The repository ships two real benchmark runs; CI replays the
+    trajectory check against them plus the fresh benchmarks/out."""
+
+    def test_baselines_exist_and_load(self):
+        runs = sorted(BASELINES.glob("run-*"))
+        assert len(runs) >= 2
+        for run in runs:
+            tables = trajectory.load_run(run)
+            assert "drag_latency" in tables
+            assert "perf_table" in tables
+
+    def test_baselines_pass_correctness_mode(self, capsys):
+        runs = sorted(str(p) for p in BASELINES.glob("run-*"))
+        assert trajectory.main(runs + ["--correctness"]) == 0
+
+    def test_baselines_produce_a_trend_report(self, capsys):
+        runs = sorted(str(p) for p in BASELINES.glob("run-*"))
+        trajectory.main(runs + ["--json"])
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["trends"]["tables"]["drag_latency"]["metrics"]
+        assert any(key.endswith("fast_sps") for key in metrics)
